@@ -1,0 +1,121 @@
+#include "bench/bench_common.hpp"
+
+namespace gnndrive::bench {
+
+const Dataset& get_dataset(const std::string& name, std::uint32_t dim) {
+  // Keep at most two datasets alive (they can be ~1 GiB at dim 512+).
+  static std::map<std::string, std::unique_ptr<Dataset>> cache;
+  static std::vector<std::string> order;
+  DatasetSpec spec = mini_spec(name, dim);
+  if (!bench_full_mode()) {
+    // Quick mode: a 0.25x training split keeps baseline epochs short; the
+    // comparison is unaffected (every system trains the same seeds).
+    spec.train_fraction *= 0.25;
+  }
+  const std::string key =
+      spec.name + "/" + std::to_string(spec.feature_dim) + "/" +
+      std::to_string(spec.num_nodes);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  while (cache.size() >= 2) {
+    cache.erase(order.front());
+    order.erase(order.begin());
+  }
+  auto ds = std::make_unique<Dataset>(Dataset::build(spec));
+  auto* ptr = ds.get();
+  cache.emplace(key, std::move(ds));
+  order.push_back(key);
+  return *ptr;
+}
+
+Env make_env(const Dataset& dataset, double mem_gb, const SsdConfig& ssd_cfg,
+             bool with_telemetry) {
+  Env env;
+  env.dataset = &dataset;
+  env.ssd = dataset.make_device(ssd_cfg);
+  env.mem = std::make_unique<HostMemory>(paper_gb(mem_gb));
+  env.telemetry =
+      with_telemetry ? std::make_unique<Telemetry>(100.0) : nullptr;
+  env.cache = std::make_unique<PageCache>(*env.mem, *env.ssd,
+                                          env.telemetry.get());
+  env.ctx = RunContext{&dataset, env.ssd.get(), env.mem.get(),
+                       env.cache.get(), env.telemetry.get()};
+  return env;
+}
+
+CommonTrainConfig common_config(ModelKind kind) {
+  CommonTrainConfig c;
+  c.model.kind = kind;
+  c.model.hidden_dim = 32;  // paper: 256; scaled for single-core math
+  c.model.gat_heads = 2;
+  // Paper: (10,10,10) for GraphSAGE/GCN, (10,10,5) for GAT.
+  c.sampler.fanouts = kind == ModelKind::kGat
+                          ? std::vector<std::uint32_t>{10, 10, 5}
+                          : std::vector<std::uint32_t>{10, 10, 10};
+  c.batch_seeds = kDefaultBatchSeeds;
+  return c;
+}
+
+std::unique_ptr<TrainSystem> make_system(const std::string& name, Env& env,
+                                         const CommonTrainConfig& common) {
+  GpuConfig gpu;
+  gpu.device_memory_bytes = paper_gb(kDefaultGpuGB);
+  if (name == "GNNDrive-GPU" || name == "GNNDrive-CPU") {
+    GnnDriveConfig cfg;
+    cfg.common = common;
+    cfg.cpu_training = name == "GNNDrive-CPU";
+    cfg.gpu = gpu;
+    return std::make_unique<GnnDrive>(env.ctx, cfg);
+  }
+  if (name == "PyG+") {
+    PygPlusConfig cfg;
+    cfg.common = common;
+    cfg.gpu = gpu;
+    return std::make_unique<PygPlus>(env.ctx, cfg);
+  }
+  if (name == "Ginex") {
+    GinexConfig cfg;
+    cfg.common = common;
+    cfg.gpu = gpu;
+    return std::make_unique<Ginex>(env.ctx, cfg);
+  }
+  if (name == "MariusGNN") {
+    MariusConfig cfg;
+    cfg.common = common;
+    cfg.gpu = gpu;
+    return std::make_unique<MariusGnn>(env.ctx, cfg);
+  }
+  GD_CHECK_MSG(false, "unknown system name");
+  return nullptr;
+}
+
+EpochStats mean_epochs(TrainSystem& system, int epochs,
+                       std::uint64_t first_epoch) {
+  // One unmeasured warm-up epoch: the paper reports steady-state averages
+  // over 10 epochs, after caches have settled.
+  system.run_epoch(first_epoch + 1000);
+  EpochStats mean;
+  for (int e = 0; e < epochs; ++e) {
+    const EpochStats s = system.run_epoch(first_epoch + e);
+    mean.epoch_seconds += s.epoch_seconds / epochs;
+    mean.prep_seconds += s.prep_seconds / epochs;
+    mean.sample_seconds += s.sample_seconds / epochs;
+    mean.extract_seconds += s.extract_seconds / epochs;
+    mean.train_seconds += s.train_seconds / epochs;
+    mean.loss += s.loss / epochs;
+    mean.train_accuracy += s.train_accuracy / epochs;
+    mean.batches = s.batches;
+  }
+  return mean;
+}
+
+void print_banner(const char* experiment, const char* description) {
+  std::printf("=== %s ===\n%s\n", experiment, description);
+  std::printf(
+      "scale: nodes = paper/500, 1 paper-GB = 2 MiB, mini-batch = paper/%u "
+      "(default %u seeds), hidden dim 32; mode = %s\n\n",
+      kBatchScale, kDefaultBatchSeeds,
+      bench_full_mode() ? "full" : "quick");
+}
+
+}  // namespace gnndrive::bench

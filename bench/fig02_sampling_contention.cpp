@@ -1,0 +1,58 @@
+// Figure 2: sampling time with varying feature dimension, for each system
+// run in two modes:
+//   "-only": only the sample stage runs per epoch;
+//   "-all":  full SET pipeline runs.
+// The gap between the two is the memory contention between topology and
+// feature data (Observation 1). Expected shape: PyG+-all >> PyG+-only and
+// the gap widens with dimension; Ginex-only ~ Ginex-all; GNNDrive's gap is
+// small and flat (direct I/O leaves the page cache to topology).
+#include "bench/bench_common.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+int main() {
+  print_banner("Figure 2 / Sect. 5.2 reduced memory footprint",
+               "Sampling time per epoch, sample-only vs full SET, vs "
+               "feature dimension (papers100m, GraphSAGE).");
+
+  const std::vector<std::uint32_t> dims =
+      bench_full_mode() ? std::vector<std::uint32_t>{64, 128, 256, 512}
+                        : std::vector<std::uint32_t>{128, 512};
+  const std::vector<std::string> systems = {"PyG+", "Ginex", "GNNDrive-GPU",
+                                            "GNNDrive-CPU"};
+
+  std::printf("%5s | %-14s %14s %14s %10s\n", "dim", "system",
+              "sample-only(s)", "sample-all(s)", "all/only");
+  for (std::uint32_t dim : dims) {
+    const Dataset& dataset = get_dataset("papers100m", dim);
+    for (const auto& sys_name : systems) {
+      double only_s = 0.0;
+      double all_s = 0.0;
+      bool oom = false;
+      for (bool sample_only : {true, false}) {
+        Env env = make_env(dataset);
+        CommonTrainConfig common = common_config(ModelKind::kSage);
+        common.sample_only = sample_only;
+        try {
+          auto system = make_system(sys_name, env, common);
+          const EpochStats stats = mean_epochs(*system, measure_epochs());
+          (sample_only ? only_s : all_s) = stats.sample_seconds;
+        } catch (const SimOutOfMemory&) {
+          oom = true;
+        }
+      }
+      if (oom) {
+        std::printf("%5u | %-14s %14s %14s %10s\n", dim, sys_name.c_str(),
+                    "OOM", "OOM", "-");
+      } else {
+        std::printf("%5u | %-14s %14.3f %14.3f %9.1fx\n", dim,
+                    sys_name.c_str(), only_s, all_s,
+                    only_s > 0 ? all_s / only_s : 0.0);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

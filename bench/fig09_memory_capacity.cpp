@@ -1,0 +1,54 @@
+// Figure 9: epoch runtime vs host-memory capacity (8-128 "GB"), feature
+// dimension 512.
+//
+// Expected shape: every system improves with more memory; PyG+ is the most
+// memory-sensitive (page cache is all it has) and can approach GNNDrive at
+// 128 GB on the smaller graphs; Ginex hits OOM at 8 GB; GNNDrive-GPU works
+// at every capacity and is nearly flat beyond 32 GB (topology fits).
+#include "bench/bench_common.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+int main() {
+  print_banner("Figure 9",
+               "Epoch runtime vs host memory, dim 512 (paper GBs; 1 GB = "
+               "2 MiB simulated).");
+
+  const std::vector<double> mem_gbs =
+      bench_full_mode() ? std::vector<double>{8, 16, 32, 64, 128}
+                        : std::vector<double>{8, 32, 128};
+  const std::vector<std::string> datasets =
+      bench_full_mode()
+          ? std::vector<std::string>{"papers100m", "twitter"}
+          : std::vector<std::string>{"papers100m", "twitter"};
+  const std::vector<std::string> systems = {"GNNDrive-GPU", "GNNDrive-CPU",
+                                            "PyG+", "Ginex"};
+
+  for (const auto& ds_name : datasets) {
+    const Dataset& dataset = get_dataset(ds_name, 512);
+    std::printf("%-12s %8s | %12s %10s %10s %10s %10s\n", "dataset",
+                "mem(GB)", "system", "epoch(s)", "sample(s)", "extract(s)",
+                "train(s)");
+    for (double gb : mem_gbs) {
+      for (const auto& sys_name : systems) {
+        Env env = make_env(dataset, gb);
+        try {
+          auto system =
+              make_system(sys_name, env, common_config(ModelKind::kSage));
+          const EpochStats stats = mean_epochs(*system, measure_epochs());
+          std::printf("%-12s %8.0f | %12s %10.3f %10.3f %10.3f %10.3f\n",
+                      ds_name.c_str(), gb, sys_name.c_str(),
+                      stats.epoch_seconds, stats.sample_seconds,
+                      stats.extract_seconds, stats.train_seconds);
+        } catch (const SimOutOfMemory& oom) {
+          std::printf("%-12s %8.0f | %12s %10s  (%s)\n", ds_name.c_str(), gb,
+                      sys_name.c_str(), "OOM", oom.what());
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 10: epoch runtime vs mini-batch size (paper 500-4000; scaled by
+// kBatchScale to 2-16 seeds).
+//
+// Expected shape: larger mini-batches generally shorten the epoch for
+// GNNDrive and Ginex (fewer, bigger batches amortize per-batch overheads);
+// PyG+ fluctuates — a larger batch's feature tensor competes for the memory
+// sampling needs, and the GAT/Friendster case at the largest batch OOMs.
+#include "bench/bench_common.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+int main() {
+  print_banner("Figure 10",
+               "Epoch runtime vs mini-batch size (paper batch = seeds x "
+               "250).");
+
+  struct Workload {
+    const char* dataset;
+    ModelKind model;
+    std::vector<std::uint32_t> paper_batches;
+  };
+  const std::vector<std::uint32_t> all_batches = {500, 1000, 2000, 4000};
+  // Quick mode: the full sweep on papers100m plus the PyG+-OOM corner
+  // (friendster + GAT at batch 4000).
+  const std::vector<Workload> workloads =
+      bench_full_mode()
+          ? std::vector<Workload>{{"papers100m", ModelKind::kSage,
+                                   all_batches},
+                                  {"twitter", ModelKind::kSage, all_batches},
+                                  {"friendster", ModelKind::kGat,
+                                   all_batches},
+                                  {"mag240m", ModelKind::kSage, all_batches}}
+          : std::vector<Workload>{{"papers100m", ModelKind::kSage,
+                                   all_batches},
+                                  {"friendster", ModelKind::kGat, {4000}}};
+  const std::vector<std::string> systems = {"GNNDrive-GPU", "GNNDrive-CPU",
+                                            "PyG+", "Ginex"};
+
+  for (const auto& wl : workloads) {
+    const Dataset& dataset = get_dataset(wl.dataset);
+    std::printf("%-12s %-10s %6s %6s | %12s %10s\n", "dataset", "model",
+                "batch", "seeds", "system", "epoch(s)");
+    for (std::uint32_t paper_batch : wl.paper_batches) {
+      const std::uint32_t seeds = std::max(1u, paper_batch / kBatchScale);
+      for (const auto& sys_name : systems) {
+        Env env = make_env(dataset);
+        CommonTrainConfig common = common_config(wl.model);
+        common.batch_seeds = seeds;
+        try {
+          auto system = make_system(sys_name, env, common);
+          const EpochStats stats = mean_epochs(*system, measure_epochs());
+          std::printf("%-12s %-10s %6u %6u | %12s %10.3f\n", wl.dataset,
+                      model_kind_name(wl.model), paper_batch, seeds,
+                      sys_name.c_str(), stats.epoch_seconds);
+        } catch (const SimOutOfMemory& oom) {
+          std::printf("%-12s %-10s %6u %6u | %12s %10s  (%s)\n", wl.dataset,
+                      model_kind_name(wl.model), paper_batch, seeds,
+                      sys_name.c_str(), "OOM", oom.what());
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 12: GNNDrive epoch runtime vs feature-buffer size (1x to 8x the
+// default sizing).
+//
+// Expected shape: 2x improves over 1x by exploiting inter-batch locality
+// (more retired-but-valid nodes survive on the standby list); beyond 2x the
+// benefit flattens out.
+#include "bench/bench_common.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+int main() {
+  print_banner("Figure 12",
+               "GNNDrive epoch runtime and feature-buffer reuse vs buffer "
+               "scale (GraphSAGE).");
+
+  const std::vector<double> scales = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<std::string> datasets =
+      bench_full_mode() ? std::vector<std::string>{"twitter", "papers100m"}
+                        : std::vector<std::string>{"twitter"};
+
+  for (const auto& ds_name : datasets) {
+    const Dataset& dataset = get_dataset(ds_name);
+    std::printf("%-12s %6s | %-14s %10s %10s %12s %12s\n", "dataset",
+                "scale", "variant", "epoch(s)", "slots", "loads",
+                "reuse-hits");
+    for (double scale : scales) {
+      for (const bool cpu : {false, true}) {
+        Env env = make_env(dataset);
+        GnnDriveConfig cfg;
+        cfg.common = common_config(ModelKind::kSage);
+        cfg.cpu_training = cpu;
+        cfg.feature_buffer_scale = scale;
+        // Give the buffer headroom to actually grow with the scale knob.
+        cfg.gpu.device_memory_bytes = paper_gb(kDefaultGpuGB) * 8;
+        try {
+          GnnDrive system(env.ctx, cfg);
+          const EpochStats stats = mean_epochs(system, measure_epochs());
+          const auto fb = system.feature_buffer().stats();
+          std::printf("%-12s %5.0fx | %-14s %10.3f %10llu %12llu %12llu\n",
+                      ds_name.c_str(), scale, system.name(),
+                      stats.epoch_seconds,
+                      static_cast<unsigned long long>(
+                          system.feature_buffer().num_slots()),
+                      static_cast<unsigned long long>(fb.loads),
+                      static_cast<unsigned long long>(fb.reuse_hits));
+        } catch (const SimOutOfMemory& oom) {
+          std::printf("%-12s %5.0fx | %-14s %10s  (%s)\n", ds_name.c_str(),
+                      scale, cpu ? "GNNDrive-CPU" : "GNNDrive-GPU", "OOM",
+                      oom.what());
+        }
+        std::fflush(stdout);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

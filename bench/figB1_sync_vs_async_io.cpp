@@ -1,0 +1,163 @@
+// Appendix B / Figure B.1: standalone I/O comparison (the paper's fio
+// experiment): random 512 B reads of a large region,
+//   (a,c) synchronous reads with 1..64 threads — bandwidth and latency;
+//   (b,d) asynchronous reads (one thread) with I/O depth 1..64;
+// each in buffered and direct modes.
+//
+// Expected shape: sync bandwidth grows with threads then saturates (device
+// channels), while per-request latency climbs; async reaches the same
+// bandwidth with ONE thread at sufficient depth; buffered ~ direct at high
+// depth (the paper: the difference narrows to ~5.6%), which justifies
+// GNNDrive's direct-I/O choice.
+#include <thread>
+
+#include "bench/bench_common.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+namespace {
+
+constexpr std::uint64_t kRegion = 192ull << 20;  // "30 GB" file, scaled
+constexpr std::uint32_t kIoSize = 512;
+
+struct Result {
+  double mb_s = 0.0;
+  double mean_lat_us = 0.0;
+};
+
+std::uint64_t g_run_salt = 0;  // fresh offsets per measurement
+
+Result run_sync(SsdDevice& ssd, PageCache* cache, unsigned threads,
+                std::size_t total_ios) {
+  if (cache != nullptr) cache->invalidate_all();
+  const std::uint64_t salt = ++g_run_salt;
+  // Signed: concurrent fetch_sub past zero must stay negative, not wrap.
+  std::atomic<std::int64_t> remaining{static_cast<std::int64_t>(total_ios)};
+  std::atomic<std::uint64_t> lat_ns{0};
+  const TimePoint t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(splitmix64(t + 77 + salt * 1315423911ull));
+      alignas(512) std::uint8_t buf[kIoSize];
+      while (remaining.fetch_sub(1) > 0) {
+        const std::uint64_t off =
+            round_down(rng.next_below(kRegion - kIoSize), kSectorSize);
+        const TimePoint s = Clock::now();
+        if (cache != nullptr) {
+          cache->read(off, kIoSize, buf);
+        } else {
+          ssd.read_sync(off, kIoSize, buf);
+        }
+        lat_ns += static_cast<std::uint64_t>(
+            to_seconds(Clock::now() - s) * 1e9);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double elapsed = to_seconds(Clock::now() - t0);
+  Result r;
+  r.mb_s = static_cast<double>(total_ios) * kIoSize / 1e6 / elapsed;
+  r.mean_lat_us = static_cast<double>(lat_ns.load()) / 1e3 /
+                  static_cast<double>(total_ios);
+  return r;
+}
+
+Result run_async(SsdDevice& ssd, PageCache* cache, unsigned depth,
+                 std::size_t total_ios) {
+  if (cache != nullptr) cache->invalidate_all();
+  IoRingConfig rc;
+  rc.queue_depth = depth;
+  rc.direct = cache == nullptr;
+  IoRing ring(ssd, rc, cache);
+  Rng rng(splitmix64(0xA51Cull + ++g_run_salt * 2654435761ull));
+  std::vector<std::uint8_t> bufs(static_cast<std::size_t>(depth) * kIoSize);
+  std::vector<TimePoint> started(depth);
+  std::vector<unsigned> free_slots;
+  for (unsigned i = 0; i < depth; ++i) free_slots.push_back(i);
+
+  std::uint64_t lat_ns = 0;
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  const TimePoint t0 = Clock::now();
+  while (done < total_ios) {
+    while (submitted < total_ios && !free_slots.empty()) {
+      const unsigned slot = free_slots.back();
+      free_slots.pop_back();
+      const std::uint64_t off =
+          round_down(rng.next_below(kRegion - kIoSize), kSectorSize);
+      started[slot] = Clock::now();
+      ring.prep_read(off, kIoSize, bufs.data() + slot * kIoSize, slot);
+      ring.submit();
+      ++submitted;
+    }
+    const Cqe cqe = ring.wait_cqe();
+    GD_CHECK(cqe.res >= 0);
+    const unsigned slot = static_cast<unsigned>(cqe.user_data);
+    lat_ns += static_cast<std::uint64_t>(
+        to_seconds(Clock::now() - started[slot]) * 1e9);
+    free_slots.push_back(slot);
+    ++done;
+  }
+  const double elapsed = to_seconds(Clock::now() - t0);
+  Result r;
+  r.mb_s = static_cast<double>(total_ios) * kIoSize / 1e6 / elapsed;
+  r.mean_lat_us =
+      static_cast<double>(lat_ns) / 1e3 / static_cast<double>(total_ios);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure B.1 (Appendix B)",
+               "Sync multi-thread vs async single-thread 512 B random "
+               "reads, buffered vs direct.");
+
+  auto image = std::make_shared<MemBackend>(kRegion);
+  SsdDevice ssd(default_ssd(), image);
+  // Buffered mode: a page cache big enough to matter but far smaller than
+  // the region (as in the paper's 30 GB file vs host RAM).
+  HostMemory mem(32ull << 20);
+  PageCache cache(mem, ssd);
+
+  const std::size_t ios = bench_full_mode() ? 20000 : 6000;
+  const std::vector<unsigned> sweep = bench_full_mode()
+                                          ? std::vector<unsigned>{1, 2, 4, 8,
+                                                                  16, 32, 64}
+                                          : std::vector<unsigned>{1, 4, 16,
+                                                                  64};
+
+  std::printf("(a,c) synchronous, varying threads\n");
+  std::printf("%8s | %12s %12s | %12s %12s\n", "threads", "direct MB/s",
+              "lat(us)", "buffered MB/s", "lat(us)");
+  for (unsigned threads : sweep) {
+    const Result d = run_sync(ssd, nullptr, threads, ios);
+    const Result b = run_sync(ssd, &cache, threads, ios);
+    std::printf("%8u | %12.1f %12.1f | %12.1f %12.1f\n", threads, d.mb_s,
+                d.mean_lat_us, b.mb_s, b.mean_lat_us);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(b,d) asynchronous (one thread), varying I/O depth\n");
+  std::printf("%8s | %12s %12s | %12s %12s\n", "depth", "direct MB/s",
+              "lat(us)", "buffered MB/s", "lat(us)");
+  double direct_peak = 0.0;
+  double buffered_peak = 0.0;
+  for (unsigned depth : sweep) {
+    const Result d = run_async(ssd, nullptr, depth, ios);
+    const Result b = run_async(ssd, &cache, depth, ios);
+    direct_peak = std::max(direct_peak, d.mb_s);
+    buffered_peak = std::max(buffered_peak, b.mb_s);
+    std::printf("%8u | %12.1f %12.1f | %12.1f %12.1f\n", depth, d.mb_s,
+                d.mean_lat_us, b.mb_s, b.mean_lat_us);
+    std::fflush(stdout);
+  }
+  std::printf("\npeak async bandwidth: direct %.1f MB/s vs buffered %.1f "
+              "MB/s (gap %.1f%%) -> direct I/O sacrifices little while "
+              "sparing the page cache\n",
+              direct_peak, buffered_peak,
+              100.0 * (buffered_peak - direct_peak) / direct_peak);
+  return 0;
+}

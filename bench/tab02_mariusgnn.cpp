@@ -1,0 +1,61 @@
+// Table 2: MariusGNN vs GNNDrive — data-preparation time, training time and
+// overall time per epoch on papers100m and mag240m (GraphSAGE), plus the
+// MariusGNN-128GB row.
+//
+// Expected shape: GNNDrive-GPU has no data-preparation phase and the lowest
+// overall time; MariusGNN's prep is a large fraction of its total (the
+// paper: 46% at 32 GB) and shrinks with 128 GB; MariusGNN OOMs on MAG240M
+// at BOTH 32 GB and 128 GB; PyG+/Ginex rows included for reference.
+#include "bench/bench_common.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+namespace {
+
+void run_row(const char* label, const char* sys_name, const Dataset& dataset,
+             double mem_gb) {
+  Env env = make_env(dataset, mem_gb);
+  try {
+    auto system = make_system(sys_name, env, common_config(ModelKind::kSage));
+    const EpochStats stats = mean_epochs(*system, measure_epochs());
+    const double train = stats.epoch_seconds - stats.prep_seconds;
+    std::printf("%-18s %-12s | %10.3f %10.3f %10.3f", label,
+                dataset.spec().name.c_str(), stats.prep_seconds, train,
+                stats.epoch_seconds);
+    if (stats.prep_seconds > 0) {
+      std::printf("   (prep = %.0f%% of overall)",
+                  100.0 * stats.prep_seconds / stats.epoch_seconds);
+    }
+    std::printf("\n");
+  } catch (const SimOutOfMemory& oom) {
+    std::printf("%-18s %-12s | %10s %10s %10s   (%s)\n", label,
+                dataset.spec().name.c_str(), "OOM", "OOM", "OOM", oom.what());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Table 2",
+               "Data preparation / training / overall runtime of one epoch, "
+               "MariusGNN vs GNNDrive (GraphSAGE). MAG240M uses its native "
+               "768-dim features.");
+
+  std::printf("%-18s %-12s | %10s %10s %10s\n", "system", "dataset",
+              "prep(s)", "train(s)", "overall(s)");
+  for (const char* ds_name : {"papers100m", "mag240m"}) {
+    const Dataset& dataset = get_dataset(ds_name);
+    run_row("GNNDrive-GPU", "GNNDrive-GPU", dataset, 32.0);
+    run_row("GNNDrive-CPU", "GNNDrive-CPU", dataset, 32.0);
+    if (bench_full_mode()) {
+      run_row("PyG+", "PyG+", dataset, 32.0);
+      run_row("Ginex", "Ginex", dataset, 32.0);
+    }
+    run_row("MariusGNN-32G", "MariusGNN", dataset, 32.0);
+    run_row("MariusGNN-128G", "MariusGNN", dataset, 128.0);
+    std::printf("\n");
+  }
+  return 0;
+}

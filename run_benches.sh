@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every paper table/figure: runs each bench binary in turn.
+# Usage: ./run_benches.sh [output-file]   (GNNDRIVE_BENCH_MODE=full for full sweeps)
+OUT="${1:-bench_output.txt}"
+: > "$OUT"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$b" in *.cmake|*CTest*|*.a) continue;; esac
+  {
+    echo
+    echo "############ $b ############"
+    timeout 580 "$b" 2>&1
+    echo "[exit=$?]"
+  } >> "$OUT"
+done
+echo BENCH_SUITE_DONE >> "$OUT"

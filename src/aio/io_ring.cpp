@@ -1,0 +1,106 @@
+#include "aio/io_ring.hpp"
+
+namespace gnndrive {
+
+namespace {
+constexpr std::int32_t kEinval = -22;
+}
+
+IoRing::IoRing(SsdDevice& ssd, IoRingConfig config, PageCache* cache,
+               Telemetry* telemetry)
+    : ssd_(ssd), config_(config), cache_(cache), telemetry_(telemetry) {
+  if (!config_.direct) {
+    GD_CHECK_MSG(cache_ != nullptr, "buffered IoRing requires a page cache");
+  }
+  staged_.reserve(config_.queue_depth);
+}
+
+IoRing::~IoRing() {
+  // Device completions capture `this`; wait for them before tearing down.
+  std::unique_lock lock(mu_);
+  all_done_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+bool IoRing::prep_read(std::uint64_t offset, std::uint32_t len, void* buf,
+                       std::uint64_t user_data) {
+  if (staged_.size() >= config_.queue_depth) return false;
+  staged_.push_back(Sqe{SsdDevice::Op::kRead, offset, len, buf, user_data});
+  return true;
+}
+
+bool IoRing::prep_write(std::uint64_t offset, std::uint32_t len,
+                        const void* buf, std::uint64_t user_data) {
+  if (staged_.size() >= config_.queue_depth) return false;
+  staged_.push_back(Sqe{SsdDevice::Op::kWrite, offset, len,
+                        const_cast<void*>(buf), user_data});
+  return true;
+}
+
+void IoRing::complete(std::uint64_t user_data, std::int32_t res) {
+  {
+    std::lock_guard lock(mu_);
+    cq_.push_back(Cqe{user_data, res});
+    --in_flight_;
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+  cq_ready_.notify_one();
+}
+
+void IoRing::submit_one(const Sqe& sqe) {
+  if (config_.direct &&
+      (sqe.offset % kSectorSize != 0 || sqe.len % kSectorSize != 0)) {
+    // O_DIRECT alignment violation: fail the request like the kernel would.
+    complete(sqe.user_data, kEinval);
+    return;
+  }
+  if (!config_.direct && sqe.op == SsdDevice::Op::kRead &&
+      cache_->try_read_resident(sqe.offset, sqe.len, sqe.buf)) {
+    // Buffered read fully served by the page cache: completes immediately.
+    complete(sqe.user_data, static_cast<std::int32_t>(sqe.len));
+    return;
+  }
+  const bool buffered = !config_.direct;
+  const auto offset = sqe.offset;
+  const auto len = sqe.len;
+  const auto user_data = sqe.user_data;
+  ssd_.submit(sqe.op, sqe.offset, sqe.len, sqe.buf,
+              [this, buffered, offset, len, user_data] {
+                if (buffered) cache_->note_resident(offset, len);
+                complete(user_data, static_cast<std::int32_t>(len));
+              });
+}
+
+unsigned IoRing::submit() {
+  const unsigned n = static_cast<unsigned>(staged_.size());
+  {
+    std::lock_guard lock(mu_);
+    in_flight_ += n;
+  }
+  for (const Sqe& sqe : staged_) submit_one(sqe);
+  staged_.clear();
+  return n;
+}
+
+std::optional<Cqe> IoRing::peek_cqe() {
+  std::lock_guard lock(mu_);
+  if (cq_.empty()) return std::nullopt;
+  Cqe cqe = cq_.front();
+  cq_.pop_front();
+  return cqe;
+}
+
+Cqe IoRing::wait_cqe() {
+  ScopedTrace trace(telemetry_, TraceCat::kIoWait);
+  std::unique_lock lock(mu_);
+  cq_ready_.wait(lock, [&] { return !cq_.empty(); });
+  Cqe cqe = cq_.front();
+  cq_.pop_front();
+  return cqe;
+}
+
+unsigned IoRing::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_ + static_cast<unsigned>(cq_.size());
+}
+
+}  // namespace gnndrive

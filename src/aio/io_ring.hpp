@@ -1,0 +1,96 @@
+// io_uring-style asynchronous I/O ring over the simulated SSD.
+//
+// liburing is unavailable in this environment, so this module reproduces the
+// programming model GNNDrive uses (Appendix A): a submission queue of SQEs
+// filled by prep_read/prep_write, a submit() call that hands them to the
+// device, and a completion queue of CQEs reaped with peek/wait. Exactly one
+// thread drives a ring (as in the paper: one extractor owns the asynchronous
+// extraction of a mini-batch), while completions arrive from the device
+// thread.
+//
+// Two modes, matching O_DIRECT semantics:
+//  * direct: requests bypass the page cache and must be 512 B-aligned in
+//    offset and length; violations complete with res == -EINVAL.
+//  * buffered: requests consume the simulated OS page cache (hits complete
+//    without device service; misses fault through the device and leave the
+//    pages resident) — the page-cache pollution GNNDrive avoids.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "memsim/page_cache.hpp"
+#include "storage/ssd.hpp"
+#include "util/common.hpp"
+#include "util/telemetry.hpp"
+
+namespace gnndrive {
+
+struct Cqe {
+  std::uint64_t user_data = 0;
+  std::int32_t res = 0;  ///< >=0: bytes transferred; <0: -errno.
+};
+
+struct IoRingConfig {
+  unsigned queue_depth = 64;  ///< Max staged-but-unsubmitted SQEs.
+  bool direct = true;         ///< O_DIRECT semantics.
+};
+
+class IoRing : NonCopyable {
+ public:
+  /// `cache` is required in buffered mode, ignored in direct mode.
+  IoRing(SsdDevice& ssd, IoRingConfig config, PageCache* cache = nullptr,
+         Telemetry* telemetry = nullptr);
+  ~IoRing();
+
+  /// Stages a read SQE. Returns false when the submission queue is full
+  /// (submit() first, like io_uring_get_sqe returning NULL).
+  bool prep_read(std::uint64_t offset, std::uint32_t len, void* buf,
+                 std::uint64_t user_data);
+  bool prep_write(std::uint64_t offset, std::uint32_t len, const void* buf,
+                  std::uint64_t user_data);
+
+  /// Submits all staged SQEs to the device; returns how many were submitted.
+  unsigned submit();
+
+  /// Non-blocking CQE reap.
+  std::optional<Cqe> peek_cqe();
+
+  /// Blocking CQE reap; the wait is attributed to TraceCat::kIoWait.
+  Cqe wait_cqe();
+
+  /// Number of submitted requests whose CQEs have not been reaped yet.
+  unsigned in_flight() const;
+
+  const IoRingConfig& config() const { return config_; }
+
+ private:
+  struct Sqe {
+    SsdDevice::Op op;
+    std::uint64_t offset;
+    std::uint32_t len;
+    void* buf;
+    std::uint64_t user_data;
+  };
+
+  void complete(std::uint64_t user_data, std::int32_t res);
+  void submit_one(const Sqe& sqe);
+
+  SsdDevice& ssd_;
+  const IoRingConfig config_;
+  PageCache* cache_;
+  Telemetry* telemetry_;
+
+  std::vector<Sqe> staged_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cq_ready_;
+  std::condition_variable all_done_;
+  std::deque<Cqe> cq_;
+  unsigned in_flight_ = 0;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,70 @@
+#include "baselines/batch_serde.hpp"
+
+#include <cstring>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+std::uint64_t serialized_batch_bytes(const SampledBatch& b) {
+  std::uint64_t bytes = 4 * sizeof(std::uint64_t);  // header
+  bytes += b.nodes.size() * sizeof(NodeId);
+  bytes += b.labels.size() * sizeof(std::int32_t);
+  for (const auto& blk : b.blocks) {
+    bytes += 4 * sizeof(std::uint64_t);
+    bytes += blk.edge_src.size() * 2 * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+void serialize_batch(const SampledBatch& b, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(serialized_batch_bytes(b));
+  const auto push = [&out](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), bytes, bytes + n);
+  };
+  const std::uint64_t header[4] = {b.batch_id, b.num_seeds, b.nodes.size(),
+                                   b.blocks.size()};
+  push(header, sizeof(header));
+  push(b.nodes.data(), b.nodes.size() * sizeof(NodeId));
+  push(b.labels.data(), b.labels.size() * sizeof(std::int32_t));
+  for (const auto& blk : b.blocks) {
+    const std::uint64_t bh[4] = {blk.num_dst, blk.num_src,
+                                 blk.edge_src.size(), 0};
+    push(bh, sizeof(bh));
+    push(blk.edge_src.data(), blk.edge_src.size() * sizeof(std::uint32_t));
+    push(blk.edge_dst.data(), blk.edge_dst.size() * sizeof(std::uint32_t));
+  }
+}
+
+SampledBatch deserialize_batch(const std::uint8_t* p) {
+  SampledBatch b;
+  const auto pull = [&p](void* dst, std::size_t n) {
+    std::memcpy(dst, p, n);
+    p += n;
+  };
+  std::uint64_t header[4];
+  pull(header, sizeof(header));
+  b.batch_id = header[0];
+  b.num_seeds = static_cast<std::uint32_t>(header[1]);
+  b.nodes.resize(header[2]);
+  pull(b.nodes.data(), b.nodes.size() * sizeof(NodeId));
+  b.labels.resize(b.num_seeds);
+  pull(b.labels.data(), b.labels.size() * sizeof(std::int32_t));
+  b.blocks.resize(header[3]);
+  for (auto& blk : b.blocks) {
+    std::uint64_t bh[4];
+    pull(bh, sizeof(bh));
+    blk.num_dst = static_cast<std::uint32_t>(bh[0]);
+    blk.num_src = static_cast<std::uint32_t>(bh[1]);
+    blk.edge_src.resize(bh[2]);
+    blk.edge_dst.resize(bh[2]);
+    pull(blk.edge_src.data(), blk.edge_src.size() * sizeof(std::uint32_t));
+    pull(blk.edge_dst.data(), blk.edge_dst.size() * sizeof(std::uint32_t));
+  }
+  b.alias.assign(b.nodes.size(), kNoSlot);
+  return b;
+}
+
+}  // namespace gnndrive

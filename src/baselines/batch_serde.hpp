@@ -1,0 +1,29 @@
+// Serialization of sampled batches for on-SSD spill.
+//
+// Ginex stores each mini-batch's sampling result on the SSD during its
+// superbatch sampling phase and reads it back for inspect + train (the
+// extra I/O the paper attributes to Ginex's optimized caching). The format
+// is a flat sector-padded blob: header, node list, seed labels, and the
+// per-layer blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/block.hpp"
+
+namespace gnndrive {
+
+/// Exact serialized size (before sector padding).
+std::uint64_t serialized_batch_bytes(const SampledBatch& batch);
+
+/// Serializes `batch` into `out` (cleared first; NOT sector-padded — the
+/// caller rounds up for direct I/O).
+void serialize_batch(const SampledBatch& batch,
+                     std::vector<std::uint8_t>& out);
+
+/// Reconstructs a batch from a serialized blob. Alias entries are reset to
+/// kNoSlot (they are extraction state, not sampling state).
+SampledBatch deserialize_batch(const std::uint8_t* data);
+
+}  // namespace gnndrive

@@ -1,0 +1,60 @@
+// Shared training executor for the baseline systems.
+//
+// PyG+, Ginex and MariusGNN all train on one GPU with a synchronous
+// host-to-device transfer of the extracted mini-batch features on the
+// critical path (unlike GNNDrive's asynchronous per-node transfers). This
+// helper owns the simulated GPU, model and optimizer and performs that
+// transfer + train step with honest device-memory accounting.
+#pragma once
+
+#include <memory>
+
+#include "core/evaluate.hpp"
+#include "core/system.hpp"
+#include "gpu/gpu.hpp"
+
+namespace gnndrive {
+
+class GpuTrainer : NonCopyable {
+ public:
+  GpuTrainer(const RunContext& ctx, const CommonTrainConfig& common,
+             const GpuConfig& gpu_config)
+      : ctx_(ctx), adam_(common.adam) {
+    ModelConfig mc = common.model;
+    mc.in_dim = ctx.dataset->spec().feature_dim;
+    mc.num_classes = ctx.dataset->spec().num_classes;
+    mc.num_layers = static_cast<std::uint32_t>(common.sampler.fanouts.size());
+    model_ = std::make_unique<GnnModel>(mc);
+    gpu_ = std::make_unique<GpuDevice>(gpu_config, ctx.telemetry);
+    model_state_ =
+        DeviceAlloc(*gpu_, model_->param_state_bytes(), "model+adam");
+  }
+
+  /// Synchronously transfers the batch features to the device, then runs
+  /// forward/backward/Adam as a GPU kernel. Throws SimOutOfMemory when the
+  /// batch working set does not fit device memory.
+  TrainStats step(const SampledBatch& batch, const Tensor& x0) {
+    DeviceAlloc act(*gpu_, x0.bytes() + model_->activation_bytes(batch),
+                    "batch-activations");
+    gpu_->charge_h2d_sync(x0.bytes());
+    TrainStats stats;
+    gpu_->launch([&] {
+      stats = model_->train_batch(batch, x0);
+      adam_.step(model_->params());
+      adam_.zero_grad(model_->params());
+    });
+    return stats;
+  }
+
+  GnnModel& model() { return *model_; }
+  GpuDevice& gpu() { return *gpu_; }
+
+ private:
+  RunContext ctx_;
+  std::unique_ptr<GpuDevice> gpu_;
+  std::unique_ptr<GnnModel> model_;
+  DeviceAlloc model_state_;
+  Adam adam_;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,41 @@
+// PyG+ baseline (Park et al., VLDB'22 — the mmap-extended PyG used as a
+// baseline by the paper).
+//
+// PyG+ memory-maps BOTH the topology and the feature table, so the sample
+// and extract stages compete for the simulated OS page cache — the memory
+// contention of Observation 1. Sampling and extraction run concurrently on
+// DataLoader-style worker threads (each worker samples a mini-batch and then
+// synchronously extracts its features through the page cache, blocking on
+// every fault); the training thread synchronously transfers each batch to
+// the GPU and trains. No custom caching, no asynchronous I/O.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "core/system.hpp"
+
+namespace gnndrive {
+
+struct PygPlusConfig {
+  CommonTrainConfig common;
+  std::uint32_t num_workers = 3;   ///< concurrent sample+extract workers
+  std::uint32_t prefetch_cap = 3;  ///< ready-batch queue depth
+  GpuConfig gpu;
+};
+
+class PygPlus final : public TrainSystem {
+ public:
+  PygPlus(const RunContext& ctx, PygPlusConfig config);
+
+  const char* name() const override { return "PyG+"; }
+  EpochStats run_epoch(std::uint64_t epoch) override;
+  double evaluate() override;
+
+ private:
+  RunContext ctx_;
+  PygPlusConfig config_;
+  NeighborSampler sampler_;
+  PinnedBytes metadata_pin_;
+  std::unique_ptr<GpuTrainer> trainer_;
+};
+
+}  // namespace gnndrive

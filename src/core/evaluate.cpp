@@ -1,0 +1,38 @@
+#include "core/evaluate.hpp"
+
+namespace gnndrive {
+
+Tensor gather_features_direct(const Dataset& dataset,
+                              const SampledBatch& batch) {
+  const std::uint32_t dim = dataset.spec().feature_dim;
+  Tensor x0(static_cast<std::uint32_t>(batch.num_nodes()), dim);
+  for (std::uint32_t i = 0; i < batch.num_nodes(); ++i) {
+    dataset.read_feature_row(batch.nodes[i], x0.row(i));
+  }
+  return x0;
+}
+
+double evaluate_accuracy(GnnModel& model, const Dataset& dataset,
+                         const SamplerConfig& sampler_config,
+                         std::uint32_t batch_seeds) {
+  DirectTopology topo(dataset);
+  NeighborSampler sampler(sampler_config);
+  const auto& valid = dataset.valid_nodes();
+  std::uint64_t correct = 0;
+  std::uint64_t total = 0;
+  for (std::size_t start = 0; start < valid.size(); start += batch_seeds) {
+    const std::size_t end = std::min(valid.size(),
+                                     start + static_cast<std::size_t>(batch_seeds));
+    std::vector<NodeId> seeds(valid.begin() + start, valid.begin() + end);
+    SampledBatch batch = sampler.sample(/*batch_id=*/0xE7A1 + start, seeds,
+                                        topo, &dataset.labels());
+    Tensor x0 = gather_features_direct(dataset, batch);
+    Tensor logits = model.forward(batch, x0);
+    correct += count_correct(logits, batch.labels);
+    total += batch.labels.size();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace gnndrive

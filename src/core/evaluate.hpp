@@ -1,0 +1,45 @@
+// Off-the-clock model evaluation on a dataset's validation split.
+#pragma once
+
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+#include "sampling/sampler.hpp"
+#include "sampling/topology.hpp"
+
+namespace gnndrive {
+
+/// Topology reader straight off the dataset image, bypassing the device
+/// model. For evaluation and tests only — never on a training clock.
+class DirectTopology final : public TopologyReader {
+ public:
+  explicit DirectTopology(const Dataset& dataset) : dataset_(&dataset) {}
+  std::uint64_t degree(NodeId v) const override {
+    return dataset_->in_degree(v);
+  }
+  NodeId neighbor_at(NodeId v, std::uint64_t j) override {
+    std::int64_t raw;
+    dataset_->image()->read(
+        dataset_->layout().indices_offset + (dataset_->indptr()[v] + j) * 8, 8,
+        &raw);
+    return static_cast<NodeId>(raw);
+  }
+  void neighbors(NodeId v, std::vector<NodeId>& out) override {
+    auto nb = dataset_->read_neighbors(v);
+    out.insert(out.end(), nb.begin(), nb.end());
+  }
+
+ private:
+  const Dataset* dataset_;
+};
+
+/// Gathers ground-truth feature rows for a sampled batch (image access).
+Tensor gather_features_direct(const Dataset& dataset,
+                              const SampledBatch& batch);
+
+/// Argmax accuracy of `model` on the validation split (sampled like
+/// training, deterministic seed).
+double evaluate_accuracy(GnnModel& model, const Dataset& dataset,
+                         const SamplerConfig& sampler_config,
+                         std::uint32_t batch_seeds = 64);
+
+}  // namespace gnndrive

@@ -1,0 +1,136 @@
+#include "core/feature_buffer.hpp"
+
+namespace gnndrive {
+
+FeatureBuffer::FeatureBuffer(const FeatureBufferConfig& config,
+                             NodeId num_nodes)
+    : num_slots_(config.num_slots),
+      row_floats_(config.row_floats),
+      map_(num_nodes),
+      reverse_(config.num_slots, kInvalidNode),
+      standby_(config.num_slots),
+      storage_(config.num_slots * config.row_floats, 0.0f) {
+  GD_CHECK(num_slots_ > 0 && num_slots_ <= IndexedLruList::kNil);
+  // All slots start free: populate the standby list in slot order.
+  for (std::uint64_t s = 0; s < num_slots_; ++s) {
+    standby_.push_mru(static_cast<std::uint32_t>(s));
+  }
+}
+
+FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
+  std::lock_guard lock(mu_);
+  Entry& e = map_[node];
+  CheckResult result;
+  if (e.valid) {
+    GD_CHECK_MSG(e.slot != kNoSlot, "valid entry without slot");
+    if (e.ref_count == 0) {
+      // Retired but still buffered: pull its slot out of the standby list
+      // so it cannot be reused from under us.
+      standby_.remove(static_cast<std::uint32_t>(e.slot));
+    }
+    ++stats_.reuse_hits;
+    result = {CheckStatus::kReady, e.slot};
+  } else if (e.ref_count > 0) {
+    // Another extractor is loading this node right now.
+    ++stats_.wait_hits;
+    result = {CheckStatus::kInFlight, e.slot};
+  } else {
+    ++stats_.loads;
+    result = {CheckStatus::kMustLoad, kNoSlot};
+  }
+  ++e.ref_count;
+  return result;
+}
+
+SlotId FeatureBuffer::allocate_slot(NodeId node) {
+  std::unique_lock lock(mu_);
+  Entry& e = map_[node];
+  GD_CHECK_MSG(!e.valid && e.slot == kNoSlot && e.ref_count > 0,
+               "allocate_slot on node not in kMustLoad state");
+  if (standby_.empty()) {
+    ++stats_.slot_waits;
+    slot_available_.wait(lock, [&] { return !standby_.empty(); });
+  }
+  const std::uint32_t slot = standby_.pop_lru();
+  const NodeId prev = reverse_[slot];
+  if (prev != kInvalidNode) {
+    // Lazy invalidation of the slot's previous occupant (Fig. 6, step 4).
+    GD_CHECK_MSG(map_[prev].ref_count == 0,
+                 "standby slot owner had live references");
+    map_[prev].valid = false;
+    map_[prev].slot = kNoSlot;
+  }
+  reverse_[slot] = node;
+  e.slot = static_cast<SlotId>(slot);
+  return e.slot;
+}
+
+void FeatureBuffer::mark_valid(NodeId node) {
+  {
+    std::lock_guard lock(mu_);
+    Entry& e = map_[node];
+    GD_CHECK_MSG(e.slot != kNoSlot, "mark_valid without a slot");
+    e.valid = true;
+  }
+  became_valid_.notify_all();
+}
+
+SlotId FeatureBuffer::wait_valid(NodeId node) {
+  std::unique_lock lock(mu_);
+  became_valid_.wait(lock, [&] { return map_[node].valid; });
+  return map_[node].slot;
+}
+
+void FeatureBuffer::release_one(NodeId node) {
+  bool freed = false;
+  {
+    std::lock_guard lock(mu_);
+    Entry& e = map_[node];
+    GD_CHECK_MSG(e.ref_count > 0, "release without reference");
+    if (--e.ref_count == 0 && e.slot != kNoSlot) {
+      // Retired: slot joins the MRU end of the standby list; the mapping
+      // entry stays valid so the node can be reused across mini-batches.
+      standby_.push_mru(static_cast<std::uint32_t>(e.slot));
+      freed = true;
+    }
+  }
+  if (freed) slot_available_.notify_all();
+}
+
+void FeatureBuffer::release(const std::vector<NodeId>& nodes) {
+  bool freed = false;
+  {
+    std::lock_guard lock(mu_);
+    for (NodeId node : nodes) {
+      Entry& e = map_[node];
+      GD_CHECK_MSG(e.ref_count > 0, "release without reference");
+      if (--e.ref_count == 0 && e.slot != kNoSlot) {
+        standby_.push_mru(static_cast<std::uint32_t>(e.slot));
+        freed = true;
+      }
+    }
+  }
+  if (freed) slot_available_.notify_all();
+}
+
+FeatureBuffer::Entry FeatureBuffer::entry(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return map_[node];
+}
+
+NodeId FeatureBuffer::reverse(SlotId slot) const {
+  std::lock_guard lock(mu_);
+  return reverse_[static_cast<std::size_t>(slot)];
+}
+
+std::size_t FeatureBuffer::standby_size() const {
+  std::lock_guard lock(mu_);
+  return standby_.size();
+}
+
+FeatureBufferStats FeatureBuffer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace gnndrive

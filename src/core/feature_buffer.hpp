@@ -1,0 +1,121 @@
+// GNNDrive's feature buffer manager (Sect. 4.2, Fig. 6, Algorithm 1).
+//
+// Four components, exactly as the paper describes:
+//  * mapping table  — per graph node: {slot index, reference count, valid
+//    bit}. States: (slot=-1, valid=0) not buffered; (slot>=0, valid=0) being
+//    extracted; (slot>=0, valid=1) ready. (slot=-1, valid=1) is unreachable.
+//  * buffer         — the slot storage itself (device memory for GPU
+//    training, host memory for the CPU variant).
+//  * reverse map    — slot -> node currently occupying it (-1 when empty).
+//  * standby list   — LRU list of slots with zero reference count: free
+//    slots plus retired-but-reusable ones. Reusing a slot for a *new* node
+//    lazily invalidates the previous occupant's mapping entry.
+//
+// The two-pass protocol mirrors Algorithm 1: extractors first
+// check_and_ref() every sampled node (reuse / wait-list / to-load triage,
+// reference counts bumped), then allocate_slot() + asynchronous load +
+// mark_valid() for the to-load set, and finally wait_valid() on wait-listed
+// nodes. The releaser calls release() after training.
+//
+// Thread-safe; allocate_slot() blocks when the standby list is empty until a
+// release arrives. Deadlock freedom requires num_slots >= Ne x Mb (number of
+// extractors x max nodes per mini-batch) — enforced by the pipeline and
+// stress-tested.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/lru.hpp"
+
+namespace gnndrive {
+
+struct FeatureBufferConfig {
+  std::uint64_t num_slots = 0;
+  std::uint32_t row_floats = 0;  ///< floats per slot (feature dimension)
+};
+
+struct FeatureBufferStats {
+  std::uint64_t reuse_hits = 0;    ///< node found valid in the buffer
+  std::uint64_t wait_hits = 0;     ///< node being loaded by another thread
+  std::uint64_t loads = 0;         ///< nodes that required an SSD load
+  std::uint64_t slot_waits = 0;    ///< times allocate_slot had to block
+};
+
+class FeatureBuffer : NonCopyable {
+ public:
+  FeatureBuffer(const FeatureBufferConfig& config, NodeId num_nodes);
+
+  enum class CheckStatus {
+    kReady,     ///< valid in the buffer; slot returned
+    kInFlight,  ///< another thread is extracting it; add to wait list
+    kMustLoad,  ///< caller must allocate a slot and load it
+  };
+  struct CheckResult {
+    CheckStatus status;
+    SlotId slot;  ///< valid for kReady; may be kNoSlot for kInFlight
+  };
+
+  /// Pass 1 of Algorithm 1 for one node: triages and increments the node's
+  /// reference count (the caller now holds a reference regardless of status).
+  CheckResult check_and_ref(NodeId node);
+
+  /// Pass 2: assigns the LRU standby slot to `node` (which must be in the
+  /// kMustLoad state), lazily invalidating the slot's previous occupant.
+  /// Blocks while the standby list is empty.
+  SlotId allocate_slot(NodeId node);
+
+  /// Marks the node's data ready (after load + transfer) and wakes waiters.
+  void mark_valid(NodeId node);
+
+  /// Blocks until `node` is valid; returns its slot (wait-list resolution).
+  SlotId wait_valid(NodeId node);
+
+  /// Releaser path: drops one reference per node; slots reaching zero are
+  /// appended at the MRU end of the standby list. Mapping entries stay valid
+  /// for potential inter-batch reuse (lazy invalidation).
+  void release(const std::vector<NodeId>& nodes);
+  void release_one(NodeId node);
+
+  float* slot_data(SlotId slot) {
+    return storage_.data() + static_cast<std::size_t>(slot) * row_floats_;
+  }
+  const float* slot_data(SlotId slot) const {
+    return storage_.data() + static_cast<std::size_t>(slot) * row_floats_;
+  }
+
+  std::uint64_t num_slots() const { return num_slots_; }
+  std::uint32_t row_floats() const { return row_floats_; }
+  std::uint64_t storage_bytes() const { return storage_.size() * 4; }
+
+  // -- Introspection (tests, Fig. 6 walk-through) ---------------------------
+  struct Entry {
+    SlotId slot = kNoSlot;
+    std::uint32_t ref_count = 0;
+    bool valid = false;
+  };
+  Entry entry(NodeId node) const;
+  NodeId reverse(SlotId slot) const;  ///< kInvalidNode when slot is empty
+  std::size_t standby_size() const;
+  FeatureBufferStats stats() const;
+
+  static constexpr NodeId kInvalidNode = 0xffffffffu;
+
+ private:
+  const std::uint64_t num_slots_;
+  const std::uint32_t row_floats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_available_;
+  std::condition_variable became_valid_;
+
+  std::vector<Entry> map_;            ///< mapping table, per node
+  std::vector<NodeId> reverse_;       ///< per slot
+  IndexedLruList standby_;            ///< slots with refcount == 0
+  std::vector<float> storage_;
+  FeatureBufferStats stats_;
+};
+
+}  // namespace gnndrive

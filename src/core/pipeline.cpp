@@ -1,0 +1,581 @@
+#include "core/pipeline.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "core/evaluate.hpp"
+#include "sampling/topology.hpp"
+#include "util/logging.hpp"
+
+namespace gnndrive {
+
+namespace {
+
+/// Sleeps for the modeled extra time of CPU-bound training (the per-model
+/// CPU-vs-GPU throughput gap; see ModelConfig::cpu_slowdown).
+void model_cpu_slowdown(double real_seconds, double factor) {
+  if (factor > 1.0 && real_seconds > 0) {
+    std::this_thread::sleep_for(from_us(real_seconds * (factor - 1.0) * 1e6));
+  }
+}
+
+}  // namespace
+
+struct GnnDrive::ExtractorState {
+  std::unique_ptr<IoRing> ring;
+  std::uint8_t* staging_base = nullptr;  ///< ring_depth covering rows
+  std::uint8_t* gds_base = nullptr;      ///< ring_depth covering blocks (GDS)
+};
+
+GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
+    : ctx_(ctx), config_(std::move(config)),
+      sampler_(config_.common.sampler), adam_(config_.common.adam) {
+  const Dataset& ds = *ctx_.dataset;
+  HostMemory& mem = *ctx_.host_mem;
+
+  metadata_pin_ = PinnedBytes(mem, ds.host_metadata_bytes(), "gnndrive-meta");
+
+  max_batch_nodes_ =
+      std::min<std::uint64_t>(sampler_.max_nodes_per_batch(
+                                  config_.common.batch_seeds),
+                              ds.spec().num_nodes);
+  const auto row_bytes =
+      static_cast<std::uint32_t>(ds.layout().feature_row_bytes);
+  covering_row_bytes_ =
+      row_bytes % kSectorSize == 0
+          ? row_bytes
+          : static_cast<std::uint32_t>(round_up(row_bytes, kSectorSize)) +
+                kSectorSize;
+
+  // Model (input/output dims come from the dataset).
+  ModelConfig mc = config_.common.model;
+  mc.in_dim = ds.spec().feature_dim;
+  mc.num_classes = ds.spec().num_classes;
+  mc.num_layers =
+      static_cast<std::uint32_t>(config_.common.sampler.fanouts.size());
+  config_.common.model = mc;
+  model_ = std::make_unique<GnnModel>(mc);
+
+  // Rough per-batch device working set (gathered X0 + activations), used to
+  // size the feature buffer within device memory.
+  const std::uint64_t x0_bytes = max_batch_nodes_ * mc.in_dim * 4ull;
+  const std::uint64_t act_headroom =
+      x0_bytes + max_batch_nodes_ * (8ull * mc.hidden_dim + mc.num_classes) * 4;
+
+  // Auto-shrink the extractor count so (a) the staging buffer fits the host
+  // budget and (b) the Ne x Mb feature-buffer reserve fits device memory.
+  num_extractors_ = std::max(1u, config_.num_extractors);
+  const auto staging_budget = static_cast<std::uint64_t>(
+      config_.staging_fraction * static_cast<double>(mem.available()));
+  const std::uint64_t device_for_slots =
+      config_.cpu_training
+          ? ~0ull
+          : config_.gpu.device_memory_bytes -
+                std::min(config_.gpu.device_memory_bytes,
+                         model_->param_state_bytes() + act_headroom);
+  // CPU training keeps the feature buffer in host memory: its Ne x Mb
+  // reserve competes for the same budget, so it bounds Ne as well.
+  const std::uint64_t host_for_slots =
+      config_.cpu_training
+          ? static_cast<std::uint64_t>(0.80 *
+                                       static_cast<double>(mem.available()))
+          : ~0ull;
+  while (num_extractors_ > 1 &&
+         ((!config_.gds_mode &&
+           static_cast<std::uint64_t>(num_extractors_) * config_.ring_depth *
+                   covering_row_bytes_ >
+               staging_budget) ||
+          num_extractors_ * max_batch_nodes_ * row_bytes >
+              std::min(device_for_slots, host_for_slots))) {
+    --num_extractors_;
+  }
+
+  GD_CHECK_MSG(!(config_.gds_mode && config_.cpu_training),
+               "GDS mode requires GPU training");
+  // Staging rows are recycled as transfers retire, so the buffer is
+  // bounded by the number of extractors times the I/O depth — "the number
+  // of features to be loaded to GPU for each extractor" (Sect. 4.2) — not
+  // by the whole mini-batch. This is what keeps GNNDrive's host footprint
+  // tiny even at an "8 GB" budget (Fig. 9).
+  const std::uint64_t staging_bytes =
+      config_.gds_mode ? 0
+                       : static_cast<std::uint64_t>(num_extractors_) *
+                             config_.ring_depth * covering_row_bytes_;
+  staging_pin_ = PinnedBytes(mem, staging_bytes, "gnndrive-staging");
+  staging_.resize(staging_bytes);
+
+  // Feature buffer: at least the Ne x Mb deadlock reserve; by default enough
+  // for the training queue on top, scaled by the Fig. 12 knob.
+  const std::uint64_t reserve = num_extractors_ * max_batch_nodes_;
+  std::uint64_t desired = static_cast<std::uint64_t>(
+      static_cast<double>((num_extractors_ + config_.train_queue_cap) *
+                          max_batch_nodes_) *
+      config_.feature_buffer_scale);
+  desired = std::max(desired, reserve);
+
+  if (config_.cpu_training) {
+    // CPU variant: the feature buffer lives in host memory and shrinks to
+    // what is left after the staging buffer AND the topology working set
+    // (the buffer must not evict the index array sampling depends on —
+    // that would recreate the very contention GNNDrive avoids).
+    const std::uint64_t topo_bytes = ds.layout().indices_bytes;
+    const std::uint64_t avail = mem.available();
+    const std::uint64_t for_slots =
+        avail > topo_bytes
+            ? static_cast<std::uint64_t>(
+                  0.75 * static_cast<double>(avail - topo_bytes))
+            : avail / 4;
+    const std::uint64_t host_fit = for_slots / row_bytes;
+    feature_slots_ = std::max(std::min(desired, host_fit), reserve);
+    cpu_buffer_pin_ =
+        PinnedBytes(mem, feature_slots_ * row_bytes, "gnndrive-feature-buf");
+  } else {
+    gpu_ = std::make_unique<GpuDevice>(config_.gpu, ctx_.telemetry);
+    model_state_alloc_ =
+        DeviceAlloc(*gpu_, model_->param_state_bytes(), "model+adam");
+    const std::uint64_t fit = device_for_slots / row_bytes;
+    feature_slots_ = std::max<std::uint64_t>(
+        std::min<std::uint64_t>(desired, fit), reserve);
+    // Throws device SimOutOfMemory when even the reserve does not fit.
+    feature_buffer_alloc_ =
+        DeviceAlloc(*gpu_, feature_slots_ * row_bytes, "feature-buffer");
+  }
+
+  if (config_.gds_mode) {
+    // GDS: per-extractor device bounce blocks at 4 KiB granularity.
+    gds_covering_bytes_ = static_cast<std::uint32_t>(
+        round_up(row_bytes, kPageSize) + kPageSize);
+    const std::uint64_t bounce_bytes =
+        static_cast<std::uint64_t>(num_extractors_) * config_.ring_depth *
+        gds_covering_bytes_;
+    gds_bounce_alloc_ = DeviceAlloc(*gpu_, bounce_bytes, "gds-bounce");
+    gds_bounce_.resize(bounce_bytes);
+  }
+
+  FeatureBufferConfig fb;
+  fb.num_slots = feature_slots_;
+  fb.row_floats = ds.spec().feature_dim;
+  feature_buffer_ = std::make_unique<FeatureBuffer>(fb, ds.spec().num_nodes);
+
+  GD_LOG_INFO(
+      "GNNDrive(%s): Ne=%u Mb=%llu slots=%llu staging=%.1f MiB",
+      config_.cpu_training ? "cpu" : "gpu", num_extractors_,
+      static_cast<unsigned long long>(max_batch_nodes_),
+      static_cast<unsigned long long>(feature_slots_),
+      static_cast<double>(staging_bytes) / (1 << 20));
+}
+
+GnnDrive::~GnnDrive() = default;
+
+void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
+  FeatureBuffer& fb = *feature_buffer_;
+  const OnDiskLayout& lay = ctx_.dataset->layout();
+  const auto row_bytes = static_cast<std::uint32_t>(lay.feature_row_bytes);
+
+  std::vector<std::uint32_t> wait_idx;
+  std::vector<std::uint32_t> load_idx;
+
+  // Pass 1 (Algorithm 1 lines 5-19): reuse triage + reference counts.
+  {
+    BusyScope busy(ctx_.telemetry);
+    for (std::uint32_t i = 0; i < batch.nodes.size(); ++i) {
+      const auto r = fb.check_and_ref(batch.nodes[i]);
+      switch (r.status) {
+        case FeatureBuffer::CheckStatus::kReady:
+          batch.alias[i] = r.slot;
+          break;
+        case FeatureBuffer::CheckStatus::kInFlight:
+          wait_idx.push_back(i);
+          break;
+        case FeatureBuffer::CheckStatus::kMustLoad:
+          load_idx.push_back(i);
+          break;
+      }
+    }
+  }
+
+  if (config_.gds_mode) {
+    // GPUDirect-Storage path (Sect. 4.4): SSD DMAs 4 KiB-aligned blocks
+    // straight into device bounce memory; an on-device copy places the row
+    // into its feature-buffer slot. No host staging, no separate H2D phase.
+    std::vector<unsigned> free_bounce;
+    for (unsigned i = 0; i < config_.ring_depth; ++i) free_bounce.push_back(i);
+    std::vector<unsigned> bounce_of(load_idx.size(), 0);
+    std::size_t submitted = 0;
+    std::size_t finished = 0;
+    while (finished < load_idx.size()) {
+      while (submitted < load_idx.size() && !free_bounce.empty()) {
+        const std::uint32_t i = load_idx[submitted];
+        const NodeId node = batch.nodes[i];
+        const SlotId slot = fb.allocate_slot(node);
+        batch.alias[i] = slot;
+        const unsigned bslot = free_bounce.back();
+        free_bounce.pop_back();
+        bounce_of[submitted] = bslot;
+        const std::uint64_t off = lay.feature_offset_of(node);
+        const std::uint64_t base = round_down(off, kPageSize);  // 4 KiB
+        const auto len = static_cast<std::uint32_t>(
+            round_up(off + row_bytes, kPageSize) - base);
+        GD_CHECK(len <= gds_covering_bytes_);
+        state.ring->prep_read(base, len,
+                              state.gds_base + bslot * gds_covering_bytes_,
+                              submitted);
+        state.ring->submit();
+        ++submitted;
+      }
+      const Cqe cqe = state.ring->wait_cqe();
+      GD_CHECK_MSG(cqe.res >= 0, "gds extraction read failed");
+      const std::size_t j = cqe.user_data;
+      const std::uint32_t i = load_idx[j];
+      const NodeId node = batch.nodes[i];
+      const std::uint64_t off = lay.feature_offset_of(node);
+      const std::uint64_t base = round_down(off, kPageSize);
+      const unsigned bslot = bounce_of[j];
+      gpu_->launch([&] {  // on-device copy: bounce block -> slot
+        std::memcpy(fb.slot_data(batch.alias[i]),
+                    state.gds_base + bslot * gds_covering_bytes_ +
+                        (off - base),
+                    row_bytes);
+      });
+      fb.mark_valid(node);
+      free_bounce.push_back(bslot);
+      ++finished;
+    }
+    for (std::uint32_t i : wait_idx) {
+      batch.alias[i] = fb.wait_valid(batch.nodes[i]);
+    }
+    return;
+  }
+
+  // Pass 2 (lines 20-31): allocate slots and submit asynchronous loads.
+  // Reads are direct I/O: sector-aligned covering ranges; rows narrower than
+  // a sector ride along with their neighbours (joint extraction). At most
+  // ring_depth requests are in flight (the io_uring I/O depth, Appendix A),
+  // and each occupies one staging row until its transfer retires — the
+  // staging buffer recycles.
+  struct TransferTracker {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<unsigned> free_rows;
+    std::size_t transfers_done = 0;
+  } tracker;
+  for (unsigned r = 0; r < config_.ring_depth; ++r) {
+    tracker.free_rows.push_back(r);
+  }
+  const std::size_t n_load = load_idx.size();
+  std::vector<unsigned> row_of(n_load, 0);
+
+  std::size_t submitted = 0;
+  std::size_t reaped = 0;
+  while (reaped < n_load) {
+    // Top up submissions while staging rows are free.
+    while (submitted < n_load) {
+      unsigned row;
+      {
+        std::lock_guard lk(tracker.m);
+        if (tracker.free_rows.empty()) break;
+        row = tracker.free_rows.back();
+        tracker.free_rows.pop_back();
+      }
+      const std::size_t j = submitted++;
+      row_of[j] = row;
+      const std::uint32_t i = load_idx[j];
+      const NodeId node = batch.nodes[i];
+      const SlotId slot = fb.allocate_slot(node);  // may block on standby
+      batch.alias[i] = slot;
+      const std::uint64_t off = lay.feature_offset_of(node);
+      const std::uint64_t base = round_down(off, kSectorSize);
+      const auto len = static_cast<std::uint32_t>(
+          round_up(off + row_bytes, kSectorSize) - base);
+      GD_CHECK(len <= covering_row_bytes_);
+      std::uint8_t* dst = state.staging_base + row * covering_row_bytes_;
+      state.ring->prep_read(base, len, dst, j);
+      state.ring->submit();
+    }
+    if (reaped == submitted) {
+      // Nothing in flight to reap; wait for a transfer to free a row.
+      ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
+      std::unique_lock lk(tracker.m);
+      tracker.cv.wait(lk, [&] { return !tracker.free_rows.empty(); });
+      continue;
+    }
+    // Reap one load; its transfer starts immediately (lines 32-35) and
+    // overlaps the loading of the next nodes.
+    const Cqe cqe = state.ring->wait_cqe();
+    GD_CHECK_MSG(cqe.res >= 0, "extraction read failed");
+    ++reaped;
+    const std::size_t j = cqe.user_data;
+    const std::uint32_t i = load_idx[j];
+    const NodeId node = batch.nodes[i];
+    const SlotId slot = batch.alias[i];
+    const unsigned row = row_of[j];
+    const std::uint64_t off = lay.feature_offset_of(node);
+    const std::uint64_t base = round_down(off, kSectorSize);
+    const std::uint8_t* src =
+        state.staging_base + row * covering_row_bytes_ + (off - base);
+    if (gpu_ != nullptr) {
+      gpu_->memcpy_h2d_async(
+          fb.slot_data(slot), src, row_bytes, [&fb, node, row, &tracker] {
+            fb.mark_valid(node);
+            {
+              std::lock_guard lk(tracker.m);
+              ++tracker.transfers_done;
+              tracker.free_rows.push_back(row);
+            }
+            tracker.cv.notify_all();
+          });
+    } else {
+      // CPU training: the feature buffer lives in host memory; no staging
+      // transfer is needed (Sect. 4.4, CPU-based Training).
+      std::memcpy(fb.slot_data(slot), src, row_bytes);
+      fb.mark_valid(node);
+      std::lock_guard lk(tracker.m);
+      ++tracker.transfers_done;
+      tracker.free_rows.push_back(row);
+    }
+  }
+
+  if (gpu_ != nullptr && n_load > 0) {
+    ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
+    std::unique_lock lk(tracker.m);
+    tracker.cv.wait(lk, [&] { return tracker.transfers_done == n_load; });
+  }
+
+  // Wait-list resolution (line 38): nodes other extractors were loading.
+  for (std::uint32_t i : wait_idx) {
+    batch.alias[i] = fb.wait_valid(batch.nodes[i]);
+  }
+}
+
+void GnnDrive::train_batch(SampledBatch& batch, EpochStats& stats) {
+  const std::uint32_t dim = ctx_.dataset->spec().feature_dim;
+  Tensor x0(static_cast<std::uint32_t>(batch.num_nodes()), dim);
+
+  // Per-batch device working set (gathered features + activations).
+  DeviceAlloc act;
+  if (gpu_ != nullptr) {
+    act = DeviceAlloc(*gpu_, x0.bytes() + model_->activation_bytes(batch),
+                      "train-activations");
+  }
+
+  TrainStats ts;
+  const auto run = [&] {
+    // Index features in device memory through the node alias list.
+    for (std::uint32_t i = 0; i < batch.num_nodes(); ++i) {
+      GD_CHECK_MSG(batch.alias[i] != kNoSlot, "untracked node at train time");
+      std::memcpy(x0.row(i), feature_buffer_->slot_data(batch.alias[i]),
+                  dim * 4);
+    }
+    ts = model_->train_batch(batch, x0);
+    if (grad_sync_) grad_sync_(*model_);
+    adam_.step(model_->params());
+    adam_.zero_grad(model_->params());
+  };
+
+  const TimePoint t0 = Clock::now();
+  if (gpu_ != nullptr) {
+    gpu_->launch([&] {
+      run();
+      // Modeled kernel-time floor for slower devices (GpuConfig docs).
+      if (config_.gpu.gpu_flops_per_s > 0) {
+        const double kernel_s = static_cast<double>(model_->flops(batch)) /
+                                config_.gpu.gpu_flops_per_s;
+        const double real_s = to_seconds(Clock::now() - t0);
+        if (kernel_s > real_s) {
+          std::this_thread::sleep_for(from_us((kernel_s - real_s) * 1e6));
+        }
+      }
+    });
+  } else {
+    BusyScope busy(ctx_.telemetry);
+    run();
+    if (config_.cpu_flops_per_s > 0) {
+      const double kernel_s = static_cast<double>(model_->flops(batch)) /
+                              config_.cpu_flops_per_s;
+      const double real_s = to_seconds(Clock::now() - t0);
+      if (kernel_s > real_s) {
+        std::this_thread::sleep_for(from_us((kernel_s - real_s) * 1e6));
+      }
+    } else {
+      model_cpu_slowdown(to_seconds(Clock::now() - t0),
+                         config_.common.model.cpu_slowdown());
+    }
+  }
+  stats.loss += ts.loss;
+  stats.train_accuracy += ts.total > 0 ? static_cast<double>(ts.correct) /
+                                             static_cast<double>(ts.total)
+                                       : 0.0;
+}
+
+EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
+  const Dataset& ds = *ctx_.dataset;
+
+  // Data-parallel segment of the training set (whole set by default).
+  std::vector<NodeId> train;
+  {
+    const auto& all = ds.train_nodes();
+    train.reserve(all.size() / segment_count_ + 1);
+    for (std::size_t i = segment_index_; i < all.size();
+         i += segment_count_) {
+      train.push_back(all[i]);
+    }
+  }
+  auto batches = make_minibatches(
+      train, config_.common.batch_seeds,
+      splitmix64(config_.common.run_seed ^ (epoch + 1)));
+  if (segment_count_ > 1) {
+    // Equal batch counts across replicas so gradient-sync barriers line up.
+    const std::size_t equal = (ds.train_nodes().size() / segment_count_) /
+                              config_.common.batch_seeds;
+    if (equal > 0 && batches.size() > equal) batches.resize(equal);
+  }
+  const std::size_t n_batches = batches.size();
+
+  BoundedQueue<SampledBatch> extract_q(config_.extract_queue_cap);
+  BoundedQueue<SampledBatch> train_q(config_.train_queue_cap);
+  BoundedQueue<std::vector<NodeId>> release_q(16);
+
+  std::atomic<std::size_t> next_batch{0};
+  std::atomic<std::uint64_t> sample_ns{0};
+  std::atomic<std::uint64_t> extract_ns{0};
+  std::mutex err_mu;
+  std::exception_ptr error;
+  const auto capture_error = [&] {
+    std::lock_guard lk(err_mu);
+    if (!error) error = std::current_exception();
+    extract_q.close();
+    train_q.close();
+    release_q.close();
+  };
+
+  EpochStats stats;
+  stats.batches = n_batches;
+  const TimePoint t0 = Clock::now();
+
+  std::vector<std::thread> samplers;
+  for (std::uint32_t s = 0; s < config_.num_samplers; ++s) {
+    samplers.emplace_back([&] {
+      try {
+        MmapTopology topo(ds, *ctx_.page_cache);
+        for (;;) {
+          const std::size_t b = next_batch.fetch_add(1);
+          if (b >= n_batches) break;
+          const TimePoint ts = Clock::now();
+          SampledBatch batch;
+          {
+            BusyScope busy(ctx_.telemetry);
+            batch = sampler_.sample(((epoch + 1) << 24) | b, batches[b], topo,
+                                    &ds.labels());
+          }
+          sample_ns.fetch_add(static_cast<std::uint64_t>(
+              to_seconds(Clock::now() - ts) * 1e9));
+          if (!extract_q.push(std::move(batch))) break;
+        }
+      } catch (...) {
+        capture_error();
+      }
+    });
+  }
+
+  std::vector<std::thread> workers;
+  if (config_.common.sample_only) {
+    // Fig. 2 "-only" mode: sampled batches are discarded.
+    workers.emplace_back([&] {
+      while (extract_q.pop().has_value()) {
+      }
+    });
+  } else {
+    for (std::uint32_t e = 0; e < num_extractors_; ++e) {
+      workers.emplace_back([&, e] {
+        try {
+          ExtractorState state;
+          IoRingConfig rc;
+          rc.queue_depth = config_.ring_depth;
+          // Direct I/O bypasses the OS page cache (Sect. 4.2); buffered
+          // mode exists as an ablation (see GnnDriveConfig::direct_io).
+          rc.direct = config_.direct_io;
+          state.ring = std::make_unique<IoRing>(
+              *ctx_.ssd, rc, config_.direct_io ? nullptr : ctx_.page_cache,
+              ctx_.telemetry);
+          if (config_.gds_mode) {
+            state.gds_base =
+                gds_bounce_.data() + static_cast<std::uint64_t>(e) *
+                                         config_.ring_depth *
+                                         gds_covering_bytes_;
+          } else {
+            state.staging_base =
+                staging_.data() + static_cast<std::uint64_t>(e) *
+                                      config_.ring_depth *
+                                      covering_row_bytes_;
+          }
+          while (auto batch = extract_q.pop()) {
+            const TimePoint ts = Clock::now();
+            extract_batch(*batch, state);
+            extract_ns.fetch_add(static_cast<std::uint64_t>(
+                to_seconds(Clock::now() - ts) * 1e9));
+            if (!train_q.push(std::move(*batch))) break;
+          }
+        } catch (...) {
+          capture_error();
+        }
+      });
+    }
+    // Trainer.
+    workers.emplace_back([&] {
+      try {
+        while (auto batch = train_q.pop()) {
+          const TimePoint ts = Clock::now();
+          train_batch(*batch, stats);
+          stats.train_seconds += to_seconds(Clock::now() - ts);
+          release_q.push(std::move(batch->nodes));
+        }
+        release_q.close();
+      } catch (...) {
+        capture_error();
+      }
+    });
+    // Releaser.
+    workers.emplace_back([&] {
+      try {
+        while (auto nodes = release_q.pop()) {
+          feature_buffer_->release(*nodes);
+        }
+      } catch (...) {
+        capture_error();
+      }
+    });
+  }
+
+  for (auto& t : samplers) t.join();
+  extract_q.close();
+  // The extractors drain the queue, then the trainer, then the releaser.
+  if (!config_.common.sample_only) {
+    for (std::size_t i = 0; i + 2 < workers.size(); ++i) workers[i].join();
+    train_q.close();
+    workers[workers.size() - 2].join();  // trainer (closes release_q)
+    workers.back().join();               // releaser
+  } else {
+    workers[0].join();
+  }
+  if (gpu_ != nullptr) gpu_->sync();
+
+  {
+    std::lock_guard lk(err_mu);
+    if (error) std::rethrow_exception(error);
+  }
+
+  stats.epoch_seconds = to_seconds(Clock::now() - t0);
+  stats.sample_seconds = static_cast<double>(sample_ns.load()) / 1e9;
+  stats.extract_seconds = static_cast<double>(extract_ns.load()) / 1e9;
+  if (n_batches > 0) {
+    stats.loss /= static_cast<double>(n_batches);
+    stats.train_accuracy /= static_cast<double>(n_batches);
+  }
+  return stats;
+}
+
+double GnnDrive::evaluate() {
+  return evaluate_accuracy(*model_, *ctx_.dataset, config_.common.sampler);
+}
+
+}  // namespace gnndrive

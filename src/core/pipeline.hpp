@@ -1,0 +1,142 @@
+// GNNDrive's four-stage training pipeline (Sect. 4, Fig. 4).
+//
+//   samplers --(extracting queue)--> extractors --(training queue)-->
+//   trainer --(releasing queue)--> releaser
+//
+// * A pool of sampler threads generates sampled subgraphs per mini-batch
+//   (memory-mapped topology through the OS page cache, like PyG+).
+// * Each extractor owns one mini-batch at a time and performs Algorithm 1:
+//   reuse pass over the feature buffer, then asynchronous two-phase
+//   extraction — io_uring-style direct reads SSD -> staging buffer, and, as
+//   each node's read completes, an asynchronous transfer staging -> feature
+//   buffer (GPU device memory). No synchronous wait sits on the critical
+//   path; loading of the current node overlaps the transfer of the previous.
+// * The trainer indexes features in device memory through the node alias
+//   list and runs forward/backward/Adam.
+// * The releaser drops references; zero-ref slots retire to the standby list.
+//
+// Queues are bounded (capacities 6 and 4 by default, as evaluated in the
+// paper); they carry only node ids/aliases, never feature data. Mini-batch
+// reordering arises naturally from the thread pools.
+//
+// Buffer sizing follows Sect. 4.2: the staging buffer holds Ne x ring_depth
+// covering rows of host memory, recycled as transfers retire (bounded by
+// "the number of extractors and the number of features to be loaded to GPU
+// for each extractor"; Ne additionally auto-shrinks to respect the budgets
+// — the paper's "expanded or shrunk by adjusting the number of
+// extractors"). The feature buffer reserves at least Ne x Mb device slots
+// (deadlock freedom) and is capped by device memory (the paper's
+// training-queue-depth restriction).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "aio/io_ring.hpp"
+#include "core/feature_buffer.hpp"
+#include "core/system.hpp"
+#include "gpu/gpu.hpp"
+#include "util/queue.hpp"
+
+namespace gnndrive {
+
+struct GnnDriveConfig {
+  CommonTrainConfig common;
+  std::uint32_t num_samplers = 4;
+  std::uint32_t num_extractors = 4;  ///< upper bound; may auto-shrink
+  std::uint32_t extract_queue_cap = 6;
+  std::uint32_t train_queue_cap = 4;
+  unsigned ring_depth = 256;
+  bool cpu_training = false;
+  /// Ablation knob: false routes feature loads through the OS page cache
+  /// (buffered I/O) instead of direct I/O, re-creating the memory
+  /// contention GNNDrive is designed to avoid. ring_depth = 1 similarly
+  /// degrades the asynchronous extraction to effectively synchronous I/O.
+  bool direct_io = true;
+  /// GPUDirect-Storage mode (the paper's Sect. 4.4 "GPU Direct Access"
+  /// future work): feature reads DMA from SSD straight into device memory,
+  /// eliminating the host staging buffer entirely. Constraints modeled as
+  /// the paper describes them: 4 KiB access granularity (redundant loading
+  /// of neighbouring rows is inevitable) and a small device-side bounce
+  /// area bounded by the ring depth. GPU training only.
+  bool gds_mode = false;
+  /// CPU-training kernel-time floor (FLOP/s), analogous to
+  /// GpuConfig::gpu_flops_per_s: models per-batch CPU training time on the
+  /// target machine's cores, which — unlike this host's single core —
+  /// parallelizes across data-parallel subprocesses (Fig. 13's CPU curve).
+  /// 0 uses the per-model cpu_slowdown factor instead.
+  double cpu_flops_per_s = 0.0;
+  /// Feature-buffer size multiplier relative to the default sizing (Fig. 12).
+  double feature_buffer_scale = 1.0;
+  /// Fraction of currently-free host memory the staging buffer may pin.
+  double staging_fraction = 0.5;
+  GpuConfig gpu;
+};
+
+class GnnDrive final : public TrainSystem {
+ public:
+  GnnDrive(const RunContext& ctx, GnnDriveConfig config);
+  ~GnnDrive() override;
+
+  const char* name() const override {
+    return config_.cpu_training ? "GNNDrive-CPU" : "GNNDrive-GPU";
+  }
+  EpochStats run_epoch(std::uint64_t epoch) override;
+  double evaluate() override;
+
+  GnnModel& model() { return *model_; }
+  FeatureBuffer& feature_buffer() { return *feature_buffer_; }
+  GpuDevice* gpu() { return gpu_.get(); }
+  std::uint32_t effective_extractors() const { return num_extractors_; }
+  std::uint64_t max_batch_nodes() const { return max_batch_nodes_; }
+
+  /// Multi-GPU support: external replicas share one gradient-sync hook
+  /// called after each local backward pass (nullptr = single device).
+  using GradSyncHook = std::function<void(GnnModel&)>;
+  void set_grad_sync_hook(GradSyncHook hook) { grad_sync_ = std::move(hook); }
+  /// Restricts this replica to a slice of the training set (data parallel).
+  /// With more than one segment, every replica truncates to the same batch
+  /// count so per-batch gradient synchronization barriers line up.
+  void set_segment(std::uint32_t index, std::uint32_t count) {
+    segment_index_ = index;
+    segment_count_ = count;
+  }
+
+ private:
+  struct ExtractorState;
+  void extract_batch(SampledBatch& batch, ExtractorState& state);
+  void train_batch(SampledBatch& batch, EpochStats& stats);
+
+  RunContext ctx_;
+  GnnDriveConfig config_;
+  NeighborSampler sampler_;
+
+  std::uint32_t num_extractors_ = 0;     ///< after auto-shrink
+  std::uint64_t max_batch_nodes_ = 0;    ///< Mb
+  std::uint32_t covering_row_bytes_ = 0; ///< sector-aligned staging row
+  std::uint64_t feature_slots_ = 0;
+
+  PinnedBytes metadata_pin_;
+  PinnedBytes staging_pin_;
+  PinnedBytes cpu_buffer_pin_;
+  std::vector<std::uint8_t> staging_;  ///< Ne x Mb covering rows
+
+  // GDS mode: device-side bounce area (Ne x ring_depth covering blocks)
+  // replaces the host staging buffer.
+  std::uint32_t gds_covering_bytes_ = 0;
+  DeviceAlloc gds_bounce_alloc_;
+  std::vector<std::uint8_t> gds_bounce_;
+
+  std::unique_ptr<GpuDevice> gpu_;
+  DeviceAlloc feature_buffer_alloc_;
+  DeviceAlloc model_state_alloc_;
+  std::unique_ptr<FeatureBuffer> feature_buffer_;
+  std::unique_ptr<GnnModel> model_;
+  Adam adam_;
+
+  GradSyncHook grad_sync_;
+  std::uint32_t segment_index_ = 0;
+  std::uint32_t segment_count_ = 1;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,60 @@
+// Common interface for the four trainable systems (GNNDrive and the three
+// baselines), so benches can sweep them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/dataset.hpp"
+#include "gnn/model.hpp"
+#include "memsim/host_memory.hpp"
+#include "memsim/page_cache.hpp"
+#include "sampling/sampler.hpp"
+#include "storage/ssd.hpp"
+#include "util/telemetry.hpp"
+
+namespace gnndrive {
+
+/// Per-experiment environment: one dataset image, one simulated SSD, one
+/// host-memory budget and one OS page cache shared by whatever system runs.
+struct RunContext {
+  const Dataset* dataset = nullptr;
+  SsdDevice* ssd = nullptr;
+  HostMemory* host_mem = nullptr;
+  PageCache* page_cache = nullptr;
+  Telemetry* telemetry = nullptr;  ///< optional
+};
+
+/// Per-epoch outcome. Stage seconds are summed over batches (and threads),
+/// so with pipelining their sum can exceed the wall-clock epoch time.
+struct EpochStats {
+  double epoch_seconds = 0.0;   ///< wall time of the epoch
+  double prep_seconds = 0.0;    ///< data preparation (MariusGNN only)
+  double sample_seconds = 0.0;  ///< summed sample-stage time
+  double extract_seconds = 0.0; ///< summed extract-stage time
+  double train_seconds = 0.0;   ///< summed train-stage time
+  double loss = 0.0;            ///< mean training loss over the epoch
+  double train_accuracy = 0.0;  ///< mini-batch argmax accuracy
+  std::uint64_t batches = 0;
+};
+
+/// Knobs shared by every system (the paper's common experimental setup).
+struct CommonTrainConfig {
+  ModelConfig model;
+  SamplerConfig sampler;          ///< fanouts (10,10,10); (10,10,5) for GAT
+  std::uint32_t batch_seeds = 8;  ///< paper mini-batch 1000 / kBatchScale
+  AdamConfig adam;
+  bool sample_only = false;       ///< Fig. 2 "-only" mode: skip extract+train
+  std::uint64_t run_seed = 99;
+};
+
+class TrainSystem {
+ public:
+  virtual ~TrainSystem() = default;
+  virtual const char* name() const = 0;
+  virtual EpochStats run_epoch(std::uint64_t epoch) = 0;
+  /// Validation accuracy with the current parameters (off the clock).
+  virtual double evaluate() = 0;
+};
+
+}  // namespace gnndrive

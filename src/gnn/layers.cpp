@@ -1,0 +1,413 @@
+#include "gnn/layers.hpp"
+
+#include <cmath>
+
+namespace gnndrive {
+
+namespace {
+
+float glorot_scale(std::uint32_t fan_in, std::uint32_t fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+/// y(m x out) += x[:m] * w    (x: >=m rows of `in`, w: in x out)
+void matmul_prefix(const Tensor& x, std::uint32_t m, const Tensor& w,
+                   Tensor& y) {
+  GD_CHECK(x.cols() == w.rows() && y.rows() == m && y.cols() == w.cols());
+  const std::uint32_t in = x.cols();
+  const std::uint32_t out = w.cols();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const float* xi = x.row(i);
+    float* yi = y.row(i);
+    for (std::uint32_t p = 0; p < in; ++p) {
+      const float xv = xi[p];
+      if (xv == 0.0f) continue;
+      const float* wp = w.row(p);
+      for (std::uint32_t j = 0; j < out; ++j) yi[j] += xv * wp[j];
+    }
+  }
+}
+
+/// wgrad(in x out) += x[:m]^T * g(m x out)
+void accumulate_weight_grad(const Tensor& x, std::uint32_t m, const Tensor& g,
+                            Tensor& wgrad) {
+  GD_CHECK(x.cols() == wgrad.rows() && g.cols() == wgrad.cols() &&
+           g.rows() == m);
+  const std::uint32_t in = x.cols();
+  const std::uint32_t out = g.cols();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const float* xi = x.row(i);
+    const float* gi = g.row(i);
+    for (std::uint32_t p = 0; p < in; ++p) {
+      const float xv = xi[p];
+      if (xv == 0.0f) continue;
+      float* wp = wgrad.row(p);
+      for (std::uint32_t j = 0; j < out; ++j) wp[j] += xv * gi[j];
+    }
+  }
+}
+
+/// gx[:m] += g(m x out) * w^T(out x in)
+void backprop_input_prefix(const Tensor& g, std::uint32_t m, const Tensor& w,
+                           Tensor& gx) {
+  GD_CHECK(g.cols() == w.cols() && gx.cols() == w.rows() && g.rows() == m);
+  const std::uint32_t in = w.rows();
+  const std::uint32_t out = w.cols();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const float* gi = g.row(i);
+    float* gxi = gx.row(i);
+    for (std::uint32_t p = 0; p < in; ++p) {
+      const float* wp = w.row(p);
+      float acc = 0.0f;
+      for (std::uint32_t j = 0; j < out; ++j) acc += gi[j] * wp[j];
+      gxi[p] += acc;
+    }
+  }
+}
+
+/// Mean aggregation including self: agg[d] = (x[d] + sum_in x[s]) / (deg+1).
+/// Used by GCN. For SAGE (no self in the neighbor mean), pass with_self=false
+/// and zero-degree rows stay zero.
+void aggregate(const LayerBlock& block, const Tensor& x, bool with_self,
+               Tensor& agg, std::vector<float>& inv_deg) {
+  const std::uint32_t dim = x.cols();
+  agg.resize(block.num_dst, dim);
+  inv_deg.assign(block.num_dst, 0.0f);
+  std::vector<std::uint32_t> deg(block.num_dst, 0);
+  for (std::uint32_t d : block.edge_dst) ++deg[d];
+
+  for (std::size_t e = 0; e < block.num_edges(); ++e) {
+    const float* xs = x.row(block.edge_src[e]);
+    float* ad = agg.row(block.edge_dst[e]);
+    for (std::uint32_t k = 0; k < dim; ++k) ad[k] += xs[k];
+  }
+  for (std::uint32_t d = 0; d < block.num_dst; ++d) {
+    std::uint32_t count = deg[d];
+    if (with_self) {
+      const float* xd = x.row(d);
+      float* ad = agg.row(d);
+      for (std::uint32_t k = 0; k < dim; ++k) ad[k] += xd[k];
+      ++count;
+    }
+    if (count == 0) continue;
+    const float inv = 1.0f / static_cast<float>(count);
+    inv_deg[d] = inv;
+    float* ad = agg.row(d);
+    for (std::uint32_t k = 0; k < dim; ++k) ad[k] *= inv;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SageConv
+
+SageConv::SageConv(std::uint32_t in_dim, std::uint32_t out_dim, Rng& rng)
+    : Conv(in_dim, out_dim),
+      w_self_(Tensor::uniform(in_dim, out_dim, rng,
+                              glorot_scale(in_dim, out_dim))),
+      w_neigh_(Tensor::uniform(in_dim, out_dim, rng,
+                               glorot_scale(in_dim, out_dim))),
+      bias_(Tensor::zeros(1, out_dim)) {}
+
+Tensor SageConv::forward(const LayerBlock& block, const Tensor& x) {
+  GD_CHECK(x.rows() >= block.num_src && x.cols() == in_dim_);
+  x_ = &x;
+  aggregate(block, x, /*with_self=*/false, agg_, inv_deg_);
+  Tensor y(block.num_dst, out_dim_);
+  matmul_prefix(x, block.num_dst, w_self_.value, y);
+  matmul_prefix(agg_, block.num_dst, w_neigh_.value, y);
+  add_row_bias(y, bias_.value);
+  return y;
+}
+
+Tensor SageConv::backward(const LayerBlock& block, const Tensor& gy) {
+  GD_CHECK(x_ != nullptr && gy.rows() == block.num_dst);
+  Tensor gx(block.num_src, in_dim_);
+
+  // Self path.
+  accumulate_weight_grad(*x_, block.num_dst, gy, w_self_.grad);
+  backprop_input_prefix(gy, block.num_dst, w_self_.value, gx);
+
+  // Neighbor path: gy -> g_agg -> scattered to sources.
+  accumulate_weight_grad(agg_, block.num_dst, gy, w_neigh_.grad);
+  Tensor g_agg(block.num_dst, in_dim_);
+  backprop_input_prefix(gy, block.num_dst, w_neigh_.value, g_agg);
+  for (std::size_t e = 0; e < block.num_edges(); ++e) {
+    const std::uint32_t d = block.edge_dst[e];
+    const float w = inv_deg_[d];
+    if (w == 0.0f) continue;
+    const float* gd = g_agg.row(d);
+    float* gs = gx.row(block.edge_src[e]);
+    for (std::uint32_t k = 0; k < in_dim_; ++k) gs[k] += w * gd[k];
+  }
+
+  accumulate_bias_grad(gy, bias_.grad);
+  return gx;
+}
+
+void SageConv::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_self_);
+  out.push_back(&w_neigh_);
+  out.push_back(&bias_);
+}
+
+std::uint64_t SageConv::flops(const LayerBlock& block) const {
+  const std::uint64_t agg = block.num_edges() * in_dim_ * 2ull;
+  const std::uint64_t mm =
+      2ull * block.num_dst * in_dim_ * out_dim_ * 2ull;  // self + neigh
+  return agg + mm;
+}
+
+// ----------------------------------------------------------------- GcnConv
+
+GcnConv::GcnConv(std::uint32_t in_dim, std::uint32_t out_dim, Rng& rng)
+    : Conv(in_dim, out_dim),
+      weight_(Tensor::uniform(in_dim, out_dim, rng,
+                              glorot_scale(in_dim, out_dim))),
+      bias_(Tensor::zeros(1, out_dim)) {}
+
+Tensor GcnConv::forward(const LayerBlock& block, const Tensor& x) {
+  GD_CHECK(x.rows() >= block.num_src && x.cols() == in_dim_);
+  x_ = &x;
+  aggregate(block, x, /*with_self=*/true, agg_, inv_deg_);
+  Tensor y(block.num_dst, out_dim_);
+  matmul_prefix(agg_, block.num_dst, weight_.value, y);
+  add_row_bias(y, bias_.value);
+  return y;
+}
+
+Tensor GcnConv::backward(const LayerBlock& block, const Tensor& gy) {
+  GD_CHECK(x_ != nullptr && gy.rows() == block.num_dst);
+  Tensor gx(block.num_src, in_dim_);
+
+  accumulate_weight_grad(agg_, block.num_dst, gy, weight_.grad);
+  Tensor g_agg(block.num_dst, in_dim_);
+  backprop_input_prefix(gy, block.num_dst, weight_.value, g_agg);
+
+  // Scatter: self contribution + in-edges, both weighted by 1/(deg+1).
+  for (std::uint32_t d = 0; d < block.num_dst; ++d) {
+    const float w = inv_deg_[d];
+    const float* gd = g_agg.row(d);
+    float* gs = gx.row(d);
+    for (std::uint32_t k = 0; k < in_dim_; ++k) gs[k] += w * gd[k];
+  }
+  for (std::size_t e = 0; e < block.num_edges(); ++e) {
+    const std::uint32_t d = block.edge_dst[e];
+    const float w = inv_deg_[d];
+    const float* gd = g_agg.row(d);
+    float* gs = gx.row(block.edge_src[e]);
+    for (std::uint32_t k = 0; k < in_dim_; ++k) gs[k] += w * gd[k];
+  }
+
+  accumulate_bias_grad(gy, bias_.grad);
+  return gx;
+}
+
+void GcnConv::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+std::uint64_t GcnConv::flops(const LayerBlock& block) const {
+  return block.num_edges() * in_dim_ * 2ull +
+         2ull * block.num_dst * in_dim_ * out_dim_;
+}
+
+// ----------------------------------------------------------------- GatConv
+
+GatConv::GatConv(std::uint32_t in_dim, std::uint32_t out_dim,
+                 std::uint32_t heads, Rng& rng)
+    : Conv(in_dim, out_dim),
+      heads_(heads),
+      head_dim_(out_dim / heads),
+      weight_(Tensor::uniform(in_dim, out_dim, rng,
+                              glorot_scale(in_dim, out_dim))),
+      attn_l_(Tensor::uniform(heads, out_dim / heads, rng, 0.2f)),
+      attn_r_(Tensor::uniform(heads, out_dim / heads, rng, 0.2f)),
+      bias_(Tensor::zeros(1, out_dim)) {
+  GD_CHECK_MSG(out_dim % heads == 0, "GAT out_dim must divide heads");
+}
+
+Tensor GatConv::forward(const LayerBlock& block, const Tensor& x) {
+  GD_CHECK(x.rows() >= block.num_src && x.cols() == in_dim_);
+  x_ = &x;
+
+  // Projection Z = X W for all source nodes.
+  z_.resize(block.num_src, out_dim_);
+  matmul_prefix(x, block.num_src, weight_.value, z_);
+
+  // Per-dst edge ranges; edges are grouped by non-decreasing dst.
+  edge_of_dst_begin_.assign(block.num_dst + 1, 0);
+  for (std::size_t e = 0; e < block.num_edges(); ++e) {
+    GD_CHECK_MSG(e == 0 || block.edge_dst[e] >= block.edge_dst[e - 1],
+                 "GAT requires edges grouped by dst");
+    ++edge_of_dst_begin_[block.edge_dst[e] + 1];
+  }
+  for (std::uint32_t d = 0; d < block.num_dst; ++d) {
+    edge_of_dst_begin_[d + 1] += edge_of_dst_begin_[d];
+  }
+
+  // Attention logits sl[i,h] = a_l . z_i[h], sr[j,h] = a_r . z_j[h].
+  const std::size_t ext_edges = block.num_edges() + block.num_dst;
+  alpha_.assign(ext_edges * heads_, 0.0f);
+  score_raw_.assign(ext_edges * heads_, 0.0f);
+
+  std::vector<float> sl(static_cast<std::size_t>(block.num_dst) * heads_);
+  std::vector<float> sr(static_cast<std::size_t>(block.num_src) * heads_);
+  for (std::uint32_t i = 0; i < block.num_src; ++i) {
+    const float* zi = z_.row(i);
+    for (std::uint32_t h = 0; h < heads_; ++h) {
+      const float* al = attn_l_.value.row(h);
+      const float* ar = attn_r_.value.row(h);
+      float accl = 0.0f;
+      float accr = 0.0f;
+      for (std::uint32_t k = 0; k < head_dim_; ++k) {
+        const float zv = zi[h * head_dim_ + k];
+        accl += al[k] * zv;
+        accr += ar[k] * zv;
+      }
+      if (i < block.num_dst) sl[i * heads_ + h] = accl;
+      sr[i * heads_ + h] = accr;
+    }
+  }
+
+  Tensor y(block.num_dst, out_dim_);
+  for (std::uint32_t d = 0; d < block.num_dst; ++d) {
+    const std::uint32_t ebegin = edge_of_dst_begin_[d];
+    const std::uint32_t eend = edge_of_dst_begin_[d + 1];
+    const std::size_t xbegin = ebegin + d;  // +1 self slot per earlier dst
+    const std::uint32_t n_ext = eend - ebegin + 1;
+    for (std::uint32_t h = 0; h < heads_; ++h) {
+      // Raw scores (LeakyReLU applied), max for stability.
+      float max_s = -1e30f;
+      for (std::uint32_t e = 0; e < n_ext; ++e) {
+        const std::uint32_t src =
+            e < eend - ebegin ? block.edge_src[ebegin + e] : d;  // self last
+        float raw = sl[d * heads_ + h] + sr[src * heads_ + h];
+        score_raw_[(xbegin + e) * heads_ + h] = raw;
+        if (raw < 0.0f) raw *= kLeakySlope;
+        alpha_[(xbegin + e) * heads_ + h] = raw;
+        if (raw > max_s) max_s = raw;
+      }
+      float sum = 0.0f;
+      for (std::uint32_t e = 0; e < n_ext; ++e) {
+        float& a = alpha_[(xbegin + e) * heads_ + h];
+        a = std::exp(a - max_s);
+        sum += a;
+      }
+      const float inv = 1.0f / sum;
+      float* yd = y.row(d);
+      for (std::uint32_t e = 0; e < n_ext; ++e) {
+        float& a = alpha_[(xbegin + e) * heads_ + h];
+        a *= inv;
+        const std::uint32_t src =
+            e < eend - ebegin ? block.edge_src[ebegin + e] : d;
+        const float* zs = z_.row(src);
+        for (std::uint32_t k = 0; k < head_dim_; ++k) {
+          yd[h * head_dim_ + k] += a * zs[h * head_dim_ + k];
+        }
+      }
+    }
+  }
+  add_row_bias(y, bias_.value);
+  return y;
+}
+
+Tensor GatConv::backward(const LayerBlock& block, const Tensor& gy) {
+  GD_CHECK(x_ != nullptr && gy.rows() == block.num_dst);
+  Tensor gz(block.num_src, out_dim_);
+  std::vector<float> g_sl(static_cast<std::size_t>(block.num_dst) * heads_,
+                          0.0f);
+  std::vector<float> g_sr(static_cast<std::size_t>(block.num_src) * heads_,
+                          0.0f);
+  std::vector<float> g_alpha;  // per-dst scratch
+
+  for (std::uint32_t d = 0; d < block.num_dst; ++d) {
+    const std::uint32_t ebegin = edge_of_dst_begin_[d];
+    const std::uint32_t eend = edge_of_dst_begin_[d + 1];
+    const std::size_t xbegin = ebegin + d;
+    const std::uint32_t n_ext = eend - ebegin + 1;
+    const float* gyd = gy.row(d);
+    g_alpha.assign(static_cast<std::size_t>(n_ext) * heads_, 0.0f);
+
+    // Value path: g_alpha and gz from y = sum alpha * z_src.
+    for (std::uint32_t e = 0; e < n_ext; ++e) {
+      const std::uint32_t src =
+          e < eend - ebegin ? block.edge_src[ebegin + e] : d;
+      const float* zs = z_.row(src);
+      float* gzs = gz.row(src);
+      for (std::uint32_t h = 0; h < heads_; ++h) {
+        const float a = alpha_[(xbegin + e) * heads_ + h];
+        float dot = 0.0f;
+        for (std::uint32_t k = 0; k < head_dim_; ++k) {
+          const float g = gyd[h * head_dim_ + k];
+          dot += g * zs[h * head_dim_ + k];
+          gzs[h * head_dim_ + k] += a * g;
+        }
+        g_alpha[e * heads_ + h] = dot;
+      }
+    }
+    // Softmax + LeakyReLU backward -> g_sl / g_sr.
+    for (std::uint32_t h = 0; h < heads_; ++h) {
+      float dot = 0.0f;
+      for (std::uint32_t e = 0; e < n_ext; ++e) {
+        dot += alpha_[(xbegin + e) * heads_ + h] * g_alpha[e * heads_ + h];
+      }
+      for (std::uint32_t e = 0; e < n_ext; ++e) {
+        const float a = alpha_[(xbegin + e) * heads_ + h];
+        float gs = a * (g_alpha[e * heads_ + h] - dot);
+        if (score_raw_[(xbegin + e) * heads_ + h] < 0.0f) gs *= kLeakySlope;
+        const std::uint32_t src =
+            e < eend - ebegin ? block.edge_src[ebegin + e] : d;
+        g_sl[d * heads_ + h] += gs;
+        g_sr[src * heads_ + h] += gs;
+      }
+    }
+  }
+
+  // sl/sr were linear in z and in the attention vectors.
+  for (std::uint32_t i = 0; i < block.num_src; ++i) {
+    const float* zi = z_.row(i);
+    float* gzi = gz.row(i);
+    for (std::uint32_t h = 0; h < heads_; ++h) {
+      const float gr = g_sr[i * heads_ + h];
+      const float gl = i < block.num_dst ? g_sl[i * heads_ + h] : 0.0f;
+      float* gar = attn_r_.grad.row(h);
+      float* gal = attn_l_.grad.row(h);
+      const float* ar = attn_r_.value.row(h);
+      const float* al = attn_l_.value.row(h);
+      for (std::uint32_t k = 0; k < head_dim_; ++k) {
+        const float zv = zi[h * head_dim_ + k];
+        gar[k] += gr * zv;
+        gzi[h * head_dim_ + k] += gr * ar[k];
+        if (gl != 0.0f) {
+          gal[k] += gl * zv;
+          gzi[h * head_dim_ + k] += gl * al[k];
+        }
+      }
+    }
+  }
+
+  // Projection backward.
+  accumulate_weight_grad(*x_, block.num_src, gz, weight_.grad);
+  Tensor gx(block.num_src, in_dim_);
+  backprop_input_prefix(gz, block.num_src, weight_.value, gx);
+  accumulate_bias_grad(gy, bias_.grad);
+  return gx;
+}
+
+void GatConv::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&attn_l_);
+  out.push_back(&attn_r_);
+  out.push_back(&bias_);
+}
+
+std::uint64_t GatConv::flops(const LayerBlock& block) const {
+  const std::uint64_t proj = 2ull * block.num_src * in_dim_ * out_dim_;
+  const std::uint64_t attn =
+      (block.num_edges() + block.num_dst) * heads_ * head_dim_ * 6ull;
+  return proj + attn;
+}
+
+}  // namespace gnndrive

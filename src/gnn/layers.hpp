@@ -1,0 +1,121 @@
+// GNN convolution layers with hand-derived backward passes.
+//
+// Conventions (see sampling/block.hpp): a conv consumes a LayerBlock whose
+// dst nodes are a prefix of its src nodes, takes X (num_src x in_dim) and
+// produces Y (num_dst x out_dim). Edges within a block are grouped by
+// destination (the sampler emits them that way), which the attention softmax
+// relies on. forward() caches what backward() needs; backward() accumulates
+// parameter gradients and returns dL/dX.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/tensor.hpp"
+#include "sampling/block.hpp"
+
+namespace gnndrive {
+
+/// A trainable parameter with its gradient and Adam state.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  Tensor m;
+  Tensor v;
+
+  explicit Param(Tensor init)
+      : value(std::move(init)),
+        grad(value.rows(), value.cols()),
+        m(value.rows(), value.cols()),
+        v(value.rows(), value.cols()) {}
+
+  std::uint64_t bytes() const { return value.bytes() * 4; }
+};
+
+class Conv {
+ public:
+  virtual ~Conv() = default;
+  virtual Tensor forward(const LayerBlock& block, const Tensor& x) = 0;
+  virtual Tensor backward(const LayerBlock& block, const Tensor& gy) = 0;
+  virtual void collect_params(std::vector<Param*>& out) = 0;
+  virtual std::uint64_t flops(const LayerBlock& block) const = 0;
+  std::uint32_t in_dim() const { return in_dim_; }
+  std::uint32_t out_dim() const { return out_dim_; }
+
+ protected:
+  Conv(std::uint32_t in_dim, std::uint32_t out_dim)
+      : in_dim_(in_dim), out_dim_(out_dim) {}
+  std::uint32_t in_dim_;
+  std::uint32_t out_dim_;
+};
+
+/// GraphSAGE with mean aggregator:
+///   y_d = W_self x_d + W_neigh mean_{s in N(d)} x_s + b
+class SageConv final : public Conv {
+ public:
+  SageConv(std::uint32_t in_dim, std::uint32_t out_dim, Rng& rng);
+  Tensor forward(const LayerBlock& block, const Tensor& x) override;
+  Tensor backward(const LayerBlock& block, const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::uint64_t flops(const LayerBlock& block) const override;
+
+ private:
+  Param w_self_;
+  Param w_neigh_;
+  Param bias_;
+  // cached for backward
+  const Tensor* x_ = nullptr;
+  Tensor agg_;
+  std::vector<float> inv_deg_;
+};
+
+/// GCN with random-walk normalization over the sampled block
+/// (self-connection included):
+///   y_d = W * (x_d + sum_{s in N(d)} x_s) / (|N(d)| + 1) + b
+class GcnConv final : public Conv {
+ public:
+  GcnConv(std::uint32_t in_dim, std::uint32_t out_dim, Rng& rng);
+  Tensor forward(const LayerBlock& block, const Tensor& x) override;
+  Tensor backward(const LayerBlock& block, const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::uint64_t flops(const LayerBlock& block) const override;
+
+ private:
+  Param weight_;
+  Param bias_;
+  const Tensor* x_ = nullptr;
+  Tensor agg_;
+  std::vector<float> inv_deg_;
+};
+
+/// Multi-head graph attention (GATv1):
+///   z_i = W x_i,  e_{d<-s} = LeakyReLU(a_l . z_d + a_r . z_s)
+///   alpha = softmax over incoming edges of d (self edge included)
+///   y_d = concat_h sum_s alpha_{d<-s} z_s[h]
+class GatConv final : public Conv {
+ public:
+  GatConv(std::uint32_t in_dim, std::uint32_t out_dim, std::uint32_t heads,
+          Rng& rng);
+  Tensor forward(const LayerBlock& block, const Tensor& x) override;
+  Tensor backward(const LayerBlock& block, const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::uint64_t flops(const LayerBlock& block) const override;
+  std::uint32_t heads() const { return heads_; }
+
+ private:
+  std::uint32_t heads_;
+  std::uint32_t head_dim_;
+  Param weight_;   // in_dim x (heads * head_dim)
+  Param attn_l_;   // heads x head_dim
+  Param attn_r_;   // heads x head_dim
+  Param bias_;     // 1 x out_dim
+  static constexpr float kLeakySlope = 0.2f;
+
+  const Tensor* x_ = nullptr;
+  Tensor z_;                       // num_src x out_dim
+  std::vector<float> alpha_;       // (edges incl self) x heads
+  std::vector<float> score_raw_;   // pre-LeakyReLU scores, same shape
+  std::vector<std::uint32_t> edge_of_dst_begin_;  // per-dst edge ranges
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,191 @@
+#include "gnn/model.hpp"
+
+#include <cmath>
+
+namespace gnndrive {
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kSage: return "GraphSAGE";
+    case ModelKind::kGcn: return "GCN";
+    case ModelKind::kGat: return "GAT";
+  }
+  return "?";
+}
+
+ModelKind model_kind_from_name(const std::string& name) {
+  if (name == "sage" || name == "GraphSAGE" || name == "graphsage") {
+    return ModelKind::kSage;
+  }
+  if (name == "gcn" || name == "GCN") return ModelKind::kGcn;
+  if (name == "gat" || name == "GAT") return ModelKind::kGat;
+  GD_CHECK_MSG(false, "unknown model name");
+  return ModelKind::kSage;
+}
+
+double ModelConfig::cpu_slowdown() const {
+  switch (kind) {
+    case ModelKind::kSage: return 2.0;
+    case ModelKind::kGcn: return 3.0;
+    case ModelKind::kGat: return 9.0;
+  }
+  return 2.0;
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (Param* p : params) {
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = p->m.data();
+    float* v = p->v.data();
+    const std::size_t n = p->value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+void Adam::zero_grad(const std::vector<Param*>& params) {
+  for (Param* p : params) p->grad.fill(0.0f);
+}
+
+GnnModel::GnnModel(ModelConfig config) : config_(config) {
+  GD_CHECK(config_.num_layers >= 1);
+  Rng rng(config_.seed);
+  for (std::uint32_t l = 0; l < config_.num_layers; ++l) {
+    const std::uint32_t in =
+        l == 0 ? config_.in_dim : config_.hidden_dim;
+    const std::uint32_t out =
+        l + 1 == config_.num_layers ? config_.num_classes
+                                    : config_.hidden_dim;
+    switch (config_.kind) {
+      case ModelKind::kSage:
+        convs_.push_back(std::make_unique<SageConv>(in, out, rng));
+        break;
+      case ModelKind::kGcn:
+        convs_.push_back(std::make_unique<GcnConv>(in, out, rng));
+        break;
+      case ModelKind::kGat: {
+        // The last layer uses a single head so logits are class scores.
+        const std::uint32_t heads =
+            l + 1 == config_.num_layers ? 1 : config_.gat_heads;
+        convs_.push_back(std::make_unique<GatConv>(in, out, heads, rng));
+        break;
+      }
+    }
+  }
+  for (auto& conv : convs_) conv->collect_params(params_);
+}
+
+Tensor GnnModel::forward(const SampledBatch& batch, const Tensor& x0) {
+  const std::uint32_t L = config_.num_layers;
+  GD_CHECK_MSG(batch.blocks.size() == L, "batch sampled for different depth");
+  GD_CHECK(x0.rows() >= batch.num_nodes() && x0.cols() == config_.in_dim);
+
+  acts_.clear();
+  acts_.reserve(L);  // convs cache pointers into acts_; no reallocation
+  relu_masks_.assign(L, Tensor{});
+  // Layer l consumes blocks[L-1-l] (blocks are built seeds-outward).
+  const Tensor* x = &x0;
+  Tensor out;
+  for (std::uint32_t l = 0; l < L; ++l) {
+    const LayerBlock& block = batch.blocks[L - 1 - l];
+    out = convs_[l]->forward(block, *x);
+    if (l + 1 < L) {
+      relu_forward(out, relu_masks_[l]);
+      acts_.push_back(std::move(out));
+      x = &acts_.back();
+    }
+  }
+  return out;
+}
+
+TrainStats GnnModel::train_batch(const SampledBatch& batch, const Tensor& x0) {
+  Tensor logits = forward(batch, x0);
+
+  TrainStats stats;
+  stats.total = batch.num_seeds;
+  Tensor grad;
+  stats.loss =
+      softmax_cross_entropy(logits, batch.labels, grad, stats.correct);
+
+  const std::uint32_t L = config_.num_layers;
+  for (std::uint32_t l = L; l-- > 0;) {
+    const LayerBlock& block = batch.blocks[L - 1 - l];
+    grad = convs_[l]->backward(block, grad);
+    if (l > 0) relu_backward(grad, relu_masks_[l - 1]);
+  }
+  return stats;
+}
+
+std::uint64_t GnnModel::flops(const SampledBatch& batch) const {
+  std::uint64_t total = 0;
+  const std::uint32_t L = config_.num_layers;
+  for (std::uint32_t l = 0; l < L; ++l) {
+    total += convs_[l]->flops(batch.blocks[L - 1 - l]);
+  }
+  return total * 3;  // forward + ~2x for backward
+}
+
+std::uint64_t GnnModel::param_state_bytes() const {
+  std::uint64_t total = 0;
+  for (const Param* p : params_) total += p->bytes();
+  return total;
+}
+
+std::uint64_t GnnModel::activation_bytes(const SampledBatch& batch) const {
+  std::uint64_t floats = 0;
+  const std::uint32_t L = config_.num_layers;
+  for (std::uint32_t l = 0; l < L; ++l) {
+    const LayerBlock& block = batch.blocks[L - 1 - l];
+    const std::uint32_t out =
+        l + 1 == L ? config_.num_classes : config_.hidden_dim;
+    // activation + relu mask + gradient per layer output
+    floats += static_cast<std::uint64_t>(block.num_dst) * out * 3;
+    // attention coefficients for GAT
+    if (config_.kind == ModelKind::kGat) {
+      floats += (block.num_edges() + block.num_dst) * config_.gat_heads * 2;
+      floats += static_cast<std::uint64_t>(block.num_src) * out;  // Z
+    }
+  }
+  return floats * sizeof(float);
+}
+
+void GnnModel::copy_params_from(GnnModel& other) {
+  GD_CHECK(params_.size() == other.params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    GD_CHECK(params_[i]->value.size() == other.params_[i]->value.size());
+    std::memcpy(params_[i]->value.data(), other.params_[i]->value.data(),
+                params_[i]->value.bytes());
+  }
+}
+
+void GnnModel::average_grads(const std::vector<GnnModel*>& replicas) {
+  GD_CHECK(!replicas.empty());
+  const float inv = 1.0f / static_cast<float>(replicas.size());
+  const auto& params0 = replicas[0]->params_;
+  for (std::size_t p = 0; p < params0.size(); ++p) {
+    float* acc = params0[p]->grad.data();
+    const std::size_t n = params0[p]->grad.size();
+    for (std::size_t r = 1; r < replicas.size(); ++r) {
+      const float* g = replicas[r]->params_[p]->grad.data();
+      for (std::size_t i = 0; i < n; ++i) acc[i] += g[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) acc[i] *= inv;
+    for (std::size_t r = 1; r < replicas.size(); ++r) {
+      std::memcpy(replicas[r]->params_[p]->grad.data(), acc,
+                  n * sizeof(float));
+    }
+  }
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,176 @@
+#include "gnn/tensor.hpp"
+
+#include <cmath>
+
+namespace gnndrive {
+
+Tensor Tensor::uniform(std::uint32_t rows, std::uint32_t cols, Rng& rng,
+                       float scale) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.next_double() * 2.0 - 1.0) * scale;
+  }
+  return t;
+}
+
+void gemm(float alpha, const Tensor& a, const Tensor& b, float beta,
+          Tensor& c) {
+  GD_CHECK(a.cols() == b.rows() && a.rows() == c.rows() &&
+           b.cols() == c.cols());
+  const std::uint32_t m = a.rows();
+  const std::uint32_t k = a.cols();
+  const std::uint32_t n = b.cols();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    float* ci = c.row(i);
+    if (beta == 0.0f) {
+      std::memset(ci, 0, n * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (std::uint32_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* ai = a.row(i);
+    for (std::uint32_t p = 0; p < k; ++p) {
+      const float av = alpha * ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b.row(p);
+      for (std::uint32_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_at_b(float alpha, const Tensor& a, const Tensor& b, float beta,
+               Tensor& c) {
+  GD_CHECK(a.rows() == b.rows() && a.cols() == c.rows() &&
+           b.cols() == c.cols());
+  const std::uint32_t k = a.rows();
+  const std::uint32_t m = a.cols();
+  const std::uint32_t n = b.cols();
+  if (beta == 0.0f) {
+    c.fill(0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
+  }
+  for (std::uint32_t p = 0; p < k; ++p) {
+    const float* ap = a.row(p);
+    const float* bp = b.row(p);
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const float av = alpha * ap[i];
+      if (av == 0.0f) continue;
+      float* ci = c.row(i);
+      for (std::uint32_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_a_bt(float alpha, const Tensor& a, const Tensor& b, float beta,
+               Tensor& c) {
+  GD_CHECK(a.cols() == b.cols() && a.rows() == c.rows() &&
+           b.rows() == c.cols());
+  const std::uint32_t m = a.rows();
+  const std::uint32_t k = a.cols();
+  const std::uint32_t n = b.rows();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (std::uint32_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  GD_CHECK(y.rows() == x.rows() && y.cols() == x.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] += x.data()[i];
+}
+
+void add_row_bias(Tensor& y, const Tensor& bias) {
+  GD_CHECK(bias.rows() == 1 && bias.cols() == y.cols());
+  const float* b = bias.data();
+  for (std::uint32_t r = 0; r < y.rows(); ++r) {
+    float* yr = y.row(r);
+    for (std::uint32_t j = 0; j < y.cols(); ++j) yr[j] += b[j];
+  }
+}
+
+void accumulate_bias_grad(const Tensor& g, Tensor& bias_grad) {
+  GD_CHECK(bias_grad.rows() == 1 && bias_grad.cols() == g.cols());
+  float* bg = bias_grad.data();
+  for (std::uint32_t r = 0; r < g.rows(); ++r) {
+    const float* gr = g.row(r);
+    for (std::uint32_t j = 0; j < g.cols(); ++j) bg[j] += gr[j];
+  }
+}
+
+void relu_forward(Tensor& x, Tensor& mask) {
+  mask.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x.data()[i] > 0.0f) {
+      mask.data()[i] = 1.0f;
+    } else {
+      x.data()[i] = 0.0f;
+      mask.data()[i] = 0.0f;
+    }
+  }
+}
+
+void relu_backward(Tensor& g, const Tensor& mask) {
+  GD_CHECK(g.size() == mask.size());
+  for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask.data()[i];
+}
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<std::int32_t>& labels,
+                             Tensor& grad, std::uint32_t& correct) {
+  GD_CHECK(logits.rows() == labels.size());
+  grad.resize(logits.rows(), logits.cols());
+  const std::uint32_t n = logits.rows();
+  const std::uint32_t c = logits.cols();
+  double loss = 0.0;
+  correct = 0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const float* x = logits.row(i);
+    float* g = grad.row(i);
+    float max_v = x[0];
+    std::uint32_t argmax = 0;
+    for (std::uint32_t j = 1; j < c; ++j) {
+      if (x[j] > max_v) {
+        max_v = x[j];
+        argmax = j;
+      }
+    }
+    double sum = 0.0;
+    for (std::uint32_t j = 0; j < c; ++j) {
+      g[j] = std::exp(x[j] - max_v);
+      sum += g[j];
+    }
+    const auto label = static_cast<std::uint32_t>(labels[i]);
+    GD_CHECK(label < c);
+    const double p_label = g[label] / sum;
+    loss -= std::log(std::max(p_label, 1e-12));
+    const float inv_sum = static_cast<float>(1.0 / sum);
+    for (std::uint32_t j = 0; j < c; ++j) g[j] *= inv_sum * inv_n;
+    g[label] -= inv_n;
+    if (argmax == label) ++correct;
+  }
+  return loss / static_cast<double>(n);
+}
+
+std::uint32_t count_correct(const Tensor& logits,
+                            const std::vector<std::int32_t>& labels) {
+  GD_CHECK(logits.rows() == labels.size());
+  std::uint32_t correct = 0;
+  for (std::uint32_t i = 0; i < logits.rows(); ++i) {
+    const float* x = logits.row(i);
+    std::uint32_t argmax = 0;
+    for (std::uint32_t j = 1; j < logits.cols(); ++j) {
+      if (x[j] > x[argmax]) argmax = j;
+    }
+    if (argmax == static_cast<std::uint32_t>(labels[i])) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace gnndrive

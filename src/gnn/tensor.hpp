@@ -1,0 +1,94 @@
+// Dense row-major float32 matrix and the handful of kernels GNN training
+// needs. Stands in for the PyTorch tensor library the paper builds on; only
+// what GraphSAGE/GCN/GAT forward+backward require is implemented.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::uint32_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, 0.0f) {}
+
+  static Tensor zeros(std::uint32_t rows, std::uint32_t cols) {
+    return Tensor(rows, cols);
+  }
+  /// Glorot-style uniform init in [-scale, scale].
+  static Tensor uniform(std::uint32_t rows, std::uint32_t cols, Rng& rng,
+                        float scale);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t bytes() const { return data_.size() * sizeof(float); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::uint32_t r) {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  const float* row(std::uint32_t r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  float& at(std::uint32_t r, std::uint32_t c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float at(std::uint32_t r, std::uint32_t c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::uint32_t rows, std::uint32_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * cols, 0.0f);
+  }
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = alpha * A x B + beta * C.  A: m x k, B: k x n, C: m x n.
+void gemm(float alpha, const Tensor& a, const Tensor& b, float beta,
+          Tensor& c);
+/// C = alpha * A^T x B + beta * C.  A: k x m, B: k x n, C: m x n.
+void gemm_at_b(float alpha, const Tensor& a, const Tensor& b, float beta,
+               Tensor& c);
+/// C = alpha * A x B^T + beta * C.  A: m x k, B: n x k, C: m x n.
+void gemm_a_bt(float alpha, const Tensor& a, const Tensor& b, float beta,
+               Tensor& c);
+
+/// y += x (same shape).
+void add_inplace(Tensor& y, const Tensor& x);
+/// Adds `bias` (1 x n) to every row of y (m x n).
+void add_row_bias(Tensor& y, const Tensor& bias);
+/// Column sums of g into bias_grad (1 x n), accumulated.
+void accumulate_bias_grad(const Tensor& g, Tensor& bias_grad);
+
+/// In-place ReLU; records the mask into `mask` (same shape, 0/1).
+void relu_forward(Tensor& x, Tensor& mask);
+/// g *= mask, elementwise.
+void relu_backward(Tensor& g, const Tensor& mask);
+
+/// Softmax + cross-entropy over rows of `logits` against `labels`.
+/// Returns mean loss; writes dL/dlogits (already divided by batch size)
+/// into `grad` and the number of argmax hits into `correct`.
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<std::int32_t>& labels,
+                             Tensor& grad, std::uint32_t& correct);
+
+/// Argmax accuracy without gradient (evaluation path).
+std::uint32_t count_correct(const Tensor& logits,
+                            const std::vector<std::int32_t>& labels);
+
+}  // namespace gnndrive

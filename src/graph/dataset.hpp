@@ -1,0 +1,129 @@
+// Datasets: scaled stand-ins for the paper's graphs, laid out on the
+// simulated SSD exactly as the paper stores them.
+//
+// On-"disk" layout (offsets 512 B-aligned):
+//   [indices]  CSC index array, int64 per edge (the paper's systems store
+//              int64 indices; this keeps topology:feature byte ratios right)
+//   [features] packed float32 rows, num_nodes x feature_dim
+//   [labels]   int32 per node
+//   [scratch]  spill space: Ginex's per-superbatch sampling results,
+//              MariusGNN's partition shuffles
+// The index-pointer array (indptr) stays in host memory, as in the paper
+// ("it occupies less than 1GB and is frequently accessed in the sample
+// stage"); so do labels and the train/valid splits.
+//
+// Scale conventions (see DESIGN.md): node counts are paper / 500; simulated
+// host-memory "GB" = 2 MiB; default mini-batch is paper / 250.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "storage/ssd.hpp"
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+/// Simulated bytes for a paper-reported "GB" of host or device memory.
+inline constexpr std::uint64_t kBytesPerPaperGB = 2ull << 20;
+inline std::uint64_t paper_gb(double gb) {
+  return static_cast<std::uint64_t>(gb * static_cast<double>(kBytesPerPaperGB));
+}
+/// Mini-batch scale: paper batch 1000 -> 4 seeds here.
+inline constexpr std::uint32_t kBatchScale = 250;
+
+struct DatasetSpec {
+  std::string name;
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  std::uint32_t feature_dim = 128;
+  std::uint32_t num_classes = 16;
+  double train_fraction = 0.01;
+  double intra_prob = 0.6;
+  std::uint64_t seed = 42;
+
+  std::uint64_t feature_row_bytes() const { return feature_dim * 4ull; }
+  std::uint64_t features_bytes() const {
+    return static_cast<std::uint64_t>(num_nodes) * feature_row_bytes();
+  }
+  std::uint64_t indices_bytes() const { return num_edges * 8ull; }
+};
+
+/// Registry of the paper's four datasets at mini scale. Accepted names:
+/// "papers100m", "twitter", "friendster", "mag240m" (a "-mini" suffix is
+/// tolerated). `feature_dim == 0` keeps the dataset's default dimension.
+DatasetSpec mini_spec(const std::string& name, std::uint32_t feature_dim = 0);
+
+/// Tiny spec for unit tests.
+DatasetSpec toy_spec(std::uint32_t feature_dim = 16);
+
+struct OnDiskLayout {
+  std::uint64_t indices_offset = 0;
+  std::uint64_t indices_bytes = 0;
+  std::uint64_t features_offset = 0;
+  std::uint64_t features_bytes = 0;
+  std::uint64_t feature_row_bytes = 0;
+  std::uint64_t labels_offset = 0;
+  std::uint64_t labels_bytes = 0;
+  std::uint64_t scratch_offset = 0;
+  std::uint64_t scratch_bytes = 0;
+  std::uint64_t total_bytes = 0;
+
+  std::uint64_t feature_offset_of(NodeId v) const {
+    return features_offset + static_cast<std::uint64_t>(v) * feature_row_bytes;
+  }
+};
+
+/// A fully built dataset: host-resident metadata plus a shared SSD image.
+/// Experiment runs create their own SsdDevice over `image()` so device
+/// state/stats are per-run while the (possibly large) data is generated once.
+class Dataset {
+ public:
+  /// Generates the graph, features, labels and splits, and writes the image.
+  /// `keep_graph` retains the in-memory CSC for ground-truth tests.
+  static Dataset build(const DatasetSpec& spec, bool keep_graph = false);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const OnDiskLayout& layout() const { return layout_; }
+  const std::vector<EdgeId>& indptr() const { return indptr_; }
+  const std::vector<std::int32_t>& labels() const { return labels_; }
+  const std::vector<NodeId>& train_nodes() const { return train_nodes_; }
+  const std::vector<NodeId>& valid_nodes() const { return valid_nodes_; }
+
+  std::uint64_t in_degree(NodeId v) const {
+    return indptr_[v + 1] - indptr_[v];
+  }
+
+  const std::shared_ptr<MemBackend>& image() const { return image_; }
+  /// Fresh device over the shared image.
+  std::unique_ptr<SsdDevice> make_device(const SsdConfig& cfg) const {
+    return std::make_unique<SsdDevice>(cfg, image_);
+  }
+
+  /// Ground truth helpers (bypass the device model; tests & setup only).
+  void read_feature_row(NodeId v, float* out) const;
+  std::vector<NodeId> read_neighbors(NodeId v) const;
+
+  /// Host-resident bytes a training system must pin for this dataset
+  /// (indptr + labels + splits).
+  std::uint64_t host_metadata_bytes() const;
+
+  /// In-memory CSC, present when built with keep_graph.
+  const std::optional<CscGraph>& csc() const { return csc_; }
+
+ private:
+  DatasetSpec spec_;
+  OnDiskLayout layout_;
+  std::vector<EdgeId> indptr_;
+  std::vector<std::int32_t> labels_;
+  std::vector<NodeId> train_nodes_;
+  std::vector<NodeId> valid_nodes_;
+  std::shared_ptr<MemBackend> image_;
+  std::optional<CscGraph> csc_;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,84 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gnndrive {
+
+namespace {
+
+/// Power-law-skewed node pick: density concentrates near id 0.
+NodeId skewed_node(Rng& rng, NodeId n, double skew) {
+  const double u = rng.next_double();
+  const double x = std::pow(u, skew);
+  NodeId v = static_cast<NodeId>(x * static_cast<double>(n));
+  return v < n ? v : n - 1;
+}
+
+}  // namespace
+
+CommunityGraph generate_community_graph(const CommunityGraphParams& params) {
+  GD_CHECK(params.num_nodes > 0 && params.num_communities > 0);
+  Rng rng(params.seed);
+  const NodeId n = params.num_nodes;
+  const std::uint32_t c = params.num_communities;
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(params.num_edges);
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    const NodeId dst = skewed_node(rng, n, params.skew);
+    NodeId src;
+    if (rng.next_double() < params.intra_prob) {
+      // Uniform node within dst's community (ids congruent mod c).
+      const NodeId community = dst % c;
+      const NodeId members = (n - 1 - community) / c + 1;
+      src = community + c * static_cast<NodeId>(rng.next_below(members));
+    } else {
+      src = skewed_node(rng, n, params.skew);
+    }
+    edges.emplace_back(src, dst);
+  }
+
+  CommunityGraph out;
+  out.csc = build_csc(n, edges);
+  out.labels.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out.labels[v] = static_cast<std::int32_t>(v % c);
+  }
+  return out;
+}
+
+CscGraph generate_rmat(NodeId num_nodes_pow2, EdgeId num_edges, double a,
+                       double b, double c, std::uint64_t seed) {
+  GD_CHECK((num_nodes_pow2 & (num_nodes_pow2 - 1)) == 0);
+  Rng rng(seed);
+  int levels = 0;
+  while ((NodeId{1} << levels) < num_nodes_pow2) ++levels;
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId src = 0;
+    NodeId dst = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: nothing set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.emplace_back(src, dst);
+  }
+  return build_csc(num_nodes_pow2, edges);
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,44 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on Papers100M, Twitter, Friendster and MAG240M; none
+// are shippable here, and the paper itself already substitutes random
+// features and labels for Twitter/Friendster. We generate scaled synthetic
+// graphs with two properties the experiments depend on:
+//   * a skewed (power-law-ish) degree distribution, so sampling workloads
+//     and cache behaviour resemble real web/social/citation graphs;
+//   * planted community structure aligned with labels and features, so
+//     models genuinely learn and the convergence experiment (Fig. 14) is
+//     meaningful.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gnndrive {
+
+struct CommunityGraphParams {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  std::uint32_t num_communities = 16;
+  double intra_prob = 0.6;   ///< Probability an edge stays intra-community.
+  double skew = 2.0;         ///< Degree skew: node picked as N * u^skew.
+  std::uint64_t seed = 1;
+};
+
+struct CommunityGraph {
+  CscGraph csc;
+  std::vector<std::int32_t> labels;  ///< Community id per node.
+};
+
+/// Skewed community graph: labels[v] = v % num_communities; edge endpoints
+/// drawn with power-law skew; with `intra_prob` the source is forced into
+/// the destination's community.
+CommunityGraph generate_community_graph(const CommunityGraphParams& params);
+
+/// Classic R-MAT generator (a,b,c,d quadrant probabilities), used for
+/// structure-only benchmarks and tests.
+CscGraph generate_rmat(NodeId num_nodes_pow2, EdgeId num_edges, double a,
+                       double b, double c, std::uint64_t seed);
+
+}  // namespace gnndrive

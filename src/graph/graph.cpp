@@ -1,0 +1,23 @@
+#include "graph/graph.hpp"
+
+namespace gnndrive {
+
+CscGraph build_csc(NodeId num_nodes,
+                   const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  CscGraph g;
+  g.num_nodes = num_nodes;
+  g.indptr.assign(num_nodes + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    GD_CHECK(src < num_nodes && dst < num_nodes);
+    ++g.indptr[dst + 1];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) g.indptr[v + 1] += g.indptr[v];
+  g.indices.resize(edges.size());
+  std::vector<EdgeId> cursor(g.indptr.begin(), g.indptr.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    g.indices[cursor[dst]++] = src;
+  }
+  return g;
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,35 @@
+// In-memory graph representation and builders.
+//
+// The experiments store a graph the way the paper does: the adjacency matrix
+// in compressed-sparse-column form, with the index-pointer array (indptr)
+// kept in host memory and the index array (indices) + feature table on the
+// simulated SSD. This header holds the plain in-memory form used to build
+// datasets and as ground truth in tests.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+
+/// CSC adjacency: for node v, its in-neighbors are
+/// indices[indptr[v] .. indptr[v+1]).
+struct CscGraph {
+  NodeId num_nodes = 0;
+  std::vector<EdgeId> indptr;   ///< size num_nodes + 1
+  std::vector<NodeId> indices;  ///< size num_edges
+
+  EdgeId num_edges() const { return indices.size(); }
+  std::uint64_t in_degree(NodeId v) const {
+    return indptr[v + 1] - indptr[v];
+  }
+};
+
+/// Builds a CSC graph from (src, dst) pairs via counting sort on dst.
+CscGraph build_csc(NodeId num_nodes,
+                   const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+}  // namespace gnndrive

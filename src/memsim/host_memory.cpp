@@ -1,0 +1,29 @@
+#include "memsim/host_memory.hpp"
+
+#include "util/logging.hpp"
+
+namespace gnndrive {
+
+void HostMemory::pin(std::uint64_t bytes, const char* what) {
+  std::lock_guard lock(mu_);
+  if (pinned_ + bytes > budget_) {
+    throw SimOutOfMemory(std::string("host OOM pinning ") +
+                         std::to_string(bytes) + " bytes for " + what +
+                         " (pinned " + std::to_string(pinned_) + " of " +
+                         std::to_string(budget_) + ")");
+  }
+  pinned_ += bytes;
+  if (pinned_ > peak_) peak_ = pinned_;
+  GD_LOG_DEBUG("pin %llu bytes for %s (pinned=%llu budget=%llu)",
+               static_cast<unsigned long long>(bytes), what,
+               static_cast<unsigned long long>(pinned_),
+               static_cast<unsigned long long>(budget_));
+}
+
+void HostMemory::unpin(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  GD_CHECK_MSG(bytes <= pinned_, "unpin exceeds pinned bytes");
+  pinned_ -= bytes;
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,85 @@
+// Simulated host-memory budget.
+//
+// The paper evaluates machines with 8-128 GB of RAM by physically limiting
+// the host. Here the budget is an accounting object: components *pin* bytes
+// (caches, staging buffers, partition buffers, ...) and over-commit raises
+// SimOutOfMemory — reproducing the OOM failures of Ginex (Fig. 9),
+// PyG+ (Fig. 10) and MariusGNN (Table 2). Whatever is not pinned is the
+// capacity available to the simulated OS page cache, which is how feature
+// traffic contends with topology for memory (Observation 1).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+class HostMemory : NonCopyable {
+ public:
+  explicit HostMemory(std::uint64_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// Reserves `bytes`; throws SimOutOfMemory when the budget is exceeded.
+  void pin(std::uint64_t bytes, const char* what);
+  void unpin(std::uint64_t bytes);
+
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t pinned() const {
+    std::lock_guard lock(mu_);
+    return pinned_;
+  }
+  /// Bytes left over for the page cache.
+  std::uint64_t available() const {
+    std::lock_guard lock(mu_);
+    return budget_ > pinned_ ? budget_ - pinned_ : 0;
+  }
+  std::uint64_t peak_pinned() const {
+    std::lock_guard lock(mu_);
+    return peak_;
+  }
+
+ private:
+  const std::uint64_t budget_;
+  mutable std::mutex mu_;
+  std::uint64_t pinned_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// RAII pin: releases on destruction. Movable so buffers can own it.
+class PinnedBytes : NonCopyable {
+ public:
+  PinnedBytes() = default;
+  PinnedBytes(HostMemory& mem, std::uint64_t bytes, const char* what)
+      : mem_(&mem), bytes_(bytes) {
+    mem.pin(bytes, what);
+  }
+  PinnedBytes(PinnedBytes&& other) noexcept
+      : mem_(other.mem_), bytes_(other.bytes_) {
+    other.mem_ = nullptr;
+    other.bytes_ = 0;
+  }
+  PinnedBytes& operator=(PinnedBytes&& other) noexcept {
+    release();
+    mem_ = other.mem_;
+    bytes_ = other.bytes_;
+    other.mem_ = nullptr;
+    other.bytes_ = 0;
+    return *this;
+  }
+  ~PinnedBytes() { release(); }
+
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  void release() {
+    if (mem_ != nullptr) mem_->unpin(bytes_);
+    mem_ = nullptr;
+    bytes_ = 0;
+  }
+  HostMemory* mem_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,51 @@
+// Memory-mapped file emulation.
+//
+// PyG+ (and GNNDrive's sampler) access on-disk arrays as if they were
+// memory-mapped: every byte access goes through the simulated page cache,
+// so cold or evicted pages incur a modeled synchronous device read — the
+// page-fault behaviour the paper's Observation 1 hinges on.
+#pragma once
+
+#include "memsim/page_cache.hpp"
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+class MmapRegion {
+ public:
+  /// Maps `[base_offset, base_offset + length)` of the device.
+  MmapRegion(PageCache& cache, std::uint64_t base_offset, std::uint64_t length)
+      : cache_(&cache), base_(base_offset), length_(length) {}
+
+  std::uint64_t length() const { return length_; }
+
+  /// Reads raw bytes from the region.
+  void read_bytes(std::uint64_t offset, std::uint64_t len, void* dst) const {
+    GD_CHECK(offset + len <= length_);
+    cache_->read(base_ + offset, len, dst);
+  }
+
+  /// Reads `count` elements of type T starting at element index `first`.
+  template <typename T>
+  void read_array(std::uint64_t first, std::uint64_t count, T* out) const {
+    read_bytes(first * sizeof(T), count * sizeof(T), out);
+  }
+
+  /// Reads a single element of type T at element index `idx`.
+  template <typename T>
+  T read_at(std::uint64_t idx) const {
+    T value;
+    read_array<T>(idx, 1, &value);
+    return value;
+  }
+
+  /// Touches the whole region sequentially (warm-up, like `cat file`).
+  void warm() const { cache_->prefetch(base_, length_); }
+
+ private:
+  PageCache* cache_;
+  std::uint64_t base_;
+  std::uint64_t length_;
+};
+
+}  // namespace gnndrive

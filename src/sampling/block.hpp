@@ -1,0 +1,40 @@
+// Sampled mini-batch representation: message-flow blocks.
+//
+// A mini-batch is a list of unique nodes (seeds first) plus one bipartite
+// block per GNN layer. Blocks are built from the seeds outward:
+//   blocks[0]: dst = seeds                      (consumed by the LAST conv)
+//   blocks[l]: dst = nodes[0 .. num_dst_l)      (frontier at layer l)
+// Destination nodes of every block are a prefix of its source nodes, so a
+// conv can always see a destination's own features (self connection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+struct LayerBlock {
+  std::uint32_t num_dst = 0;  ///< dst nodes are nodes[0..num_dst)
+  std::uint32_t num_src = 0;  ///< src nodes are nodes[0..num_src)
+  std::vector<std::uint32_t> edge_src;  ///< local src index per edge
+  std::vector<std::uint32_t> edge_dst;  ///< local dst index per edge
+
+  std::size_t num_edges() const { return edge_src.size(); }
+};
+
+struct SampledBatch {
+  std::uint64_t batch_id = 0;
+  std::uint32_t num_seeds = 0;
+  std::vector<NodeId> nodes;        ///< unique global ids; seeds first
+  std::vector<LayerBlock> blocks;   ///< blocks[0] dst = seeds
+  std::vector<std::int32_t> labels; ///< seed labels
+  /// Node alias list (Sect. 4.2): feature-buffer slot per node, filled by
+  /// the extractor; -1 until then.
+  std::vector<SlotId> alias;
+
+  std::size_t num_nodes() const { return nodes.size(); }
+};
+
+}  // namespace gnndrive

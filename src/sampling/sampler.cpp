@@ -1,0 +1,120 @@
+#include "sampling/sampler.hpp"
+
+#include <unordered_map>
+
+namespace gnndrive {
+
+SampledBatch NeighborSampler::sample(
+    std::uint64_t batch_id, const std::vector<NodeId>& seeds,
+    TopologyReader& topo, const std::vector<std::int32_t>* labels) const {
+  SampledBatch batch;
+  batch.batch_id = batch_id;
+  batch.num_seeds = static_cast<std::uint32_t>(seeds.size());
+
+  Rng rng(splitmix64(config_.seed ^ (batch_id * 0x9E3779B97F4A7C15ull + 1)));
+
+  std::unordered_map<NodeId, std::uint32_t> local;
+  local.reserve(seeds.size() * 4);
+  batch.nodes.reserve(seeds.size() * 4);
+  for (NodeId s : seeds) {
+    // Seeds are expected unique; duplicates would break the dst-prefix
+    // convention, so they are deduplicated defensively.
+    if (local.emplace(s, static_cast<std::uint32_t>(batch.nodes.size()))
+            .second) {
+      batch.nodes.push_back(s);
+    }
+  }
+  batch.num_seeds = static_cast<std::uint32_t>(batch.nodes.size());
+
+  auto local_id = [&](NodeId v) -> std::uint32_t {
+    auto [it, inserted] =
+        local.emplace(v, static_cast<std::uint32_t>(batch.nodes.size()));
+    if (inserted) batch.nodes.push_back(v);
+    return it->second;
+  };
+
+  std::vector<std::uint64_t> positions;
+  std::vector<NodeId> all_neighbors;
+  std::uint32_t frontier = batch.num_seeds;
+
+  for (std::uint32_t fanout : config_.fanouts) {
+    LayerBlock block;
+    block.num_dst = frontier;
+    for (std::uint32_t d = 0; d < frontier; ++d) {
+      const NodeId v = batch.nodes[d];
+      const std::uint64_t deg = topo.degree(v);
+      if (deg == 0) continue;
+      if (deg <= fanout) {
+        // Take the full neighbor list (one contiguous on-disk read).
+        all_neighbors.clear();
+        topo.neighbors(v, all_neighbors);
+        for (NodeId nb : all_neighbors) {
+          block.edge_src.push_back(local_id(nb));
+          block.edge_dst.push_back(d);
+        }
+      } else {
+        // Floyd's algorithm: `fanout` distinct positions in [0, deg); each
+        // position is an individual on-disk access, as mmap sampling does.
+        positions.clear();
+        for (std::uint64_t j = deg - fanout; j < deg; ++j) {
+          std::uint64_t t = rng.next_below(j + 1);
+          bool dup = false;
+          for (std::uint64_t p : positions) {
+            if (p == t) {
+              dup = true;
+              break;
+            }
+          }
+          positions.push_back(dup ? j : t);
+        }
+        for (std::uint64_t p : positions) {
+          const NodeId nb = topo.neighbor_at(v, p);
+          block.edge_src.push_back(local_id(nb));
+          block.edge_dst.push_back(d);
+        }
+      }
+    }
+    block.num_src = static_cast<std::uint32_t>(batch.nodes.size());
+    frontier = block.num_src;
+    batch.blocks.push_back(std::move(block));
+  }
+
+  if (labels != nullptr) {
+    batch.labels.reserve(batch.num_seeds);
+    for (std::uint32_t i = 0; i < batch.num_seeds; ++i) {
+      batch.labels.push_back((*labels)[batch.nodes[i]]);
+    }
+  }
+  batch.alias.assign(batch.nodes.size(), kNoSlot);
+  return batch;
+}
+
+std::uint64_t NeighborSampler::max_nodes_per_batch(
+    std::uint32_t batch_seeds) const {
+  // Each layer expands the whole frontier (which includes all previous
+  // layers, seeds first), so the bound multiplies by (1 + fanout) per layer.
+  std::uint64_t total = batch_seeds;
+  for (std::uint32_t fanout : config_.fanouts) {
+    total *= (1 + static_cast<std::uint64_t>(fanout));
+  }
+  return total;
+}
+
+std::vector<std::vector<NodeId>> make_minibatches(
+    const std::vector<NodeId>& train_nodes, std::uint32_t batch_size,
+    std::uint64_t epoch_seed) {
+  std::vector<NodeId> shuffled = train_nodes;
+  Rng rng(splitmix64(epoch_seed ^ 0x5A5A5A5Aull));
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+  }
+  std::vector<std::vector<NodeId>> batches;
+  for (std::size_t start = 0; start < shuffled.size(); start += batch_size) {
+    const std::size_t end = std::min(shuffled.size(),
+                                     start + static_cast<std::size_t>(batch_size));
+    batches.emplace_back(shuffled.begin() + start, shuffled.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,50 @@
+// Layered random neighborhood sampler.
+//
+// Implements the paper's k-hop random neighborhood sampling: for each node
+// of the current frontier, pick min(fanout, degree) distinct in-neighbors.
+// Deterministic given (seed, batch_id), independent of which sampler thread
+// runs it — a requirement for the mini-batch-reordering convergence claim
+// (Sect. 4.3) to be testable.
+#pragma once
+
+#include <vector>
+
+#include "sampling/block.hpp"
+#include "sampling/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+
+struct SamplerConfig {
+  std::vector<std::uint32_t> fanouts = {10, 10, 10};  ///< seeds outward
+  std::uint64_t seed = 1;
+};
+
+class NeighborSampler {
+ public:
+  explicit NeighborSampler(SamplerConfig config)
+      : config_(std::move(config)) {}
+
+  /// Samples one mini-batch rooted at `seeds`. `labels` (per global node) is
+  /// used to attach seed labels; pass nullptr to skip.
+  SampledBatch sample(std::uint64_t batch_id, const std::vector<NodeId>& seeds,
+                      TopologyReader& topo,
+                      const std::vector<std::int32_t>* labels) const;
+
+  /// Upper bound on nodes per batch for `batch_seeds` seeds — the paper's
+  /// M_b used to reserve feature-buffer slots (Sect. 4.2).
+  std::uint64_t max_nodes_per_batch(std::uint32_t batch_seeds) const;
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  SamplerConfig config_;
+};
+
+/// Splits `train_nodes` into consecutive mini-batches of `batch_size` seeds,
+/// shuffled per epoch with `epoch_seed`.
+std::vector<std::vector<NodeId>> make_minibatches(
+    const std::vector<NodeId>& train_nodes, std::uint32_t batch_size,
+    std::uint64_t epoch_seed);
+
+}  // namespace gnndrive

@@ -1,0 +1,50 @@
+#include "sampling/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gnndrive {
+
+CachedTopology::CachedTopology(const Dataset& dataset, PageCache& cache,
+                               std::uint64_t budget_bytes)
+    : fallback_(dataset, cache) {
+  // Rank nodes by degree (descending) and cache neighbor lists until the
+  // budget is spent. Built at setup time straight from the image, like
+  // Ginex's offline neighbor-cache construction pass.
+  const NodeId n = dataset.spec().num_nodes;
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return dataset.in_degree(a) > dataset.in_degree(b);
+  });
+  for (NodeId v : order) {
+    const std::uint64_t bytes = dataset.in_degree(v) * 8;
+    if (bytes == 0) break;  // remaining nodes have no edges
+    if (cached_bytes_ + bytes > budget_bytes) break;
+    cached_.emplace(v, dataset.read_neighbors(v));
+    cached_bytes_ += bytes;
+  }
+}
+
+NodeId CachedTopology::neighbor_at(NodeId v, std::uint64_t j) {
+  auto it = cached_.find(v);
+  if (it != cached_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second[j];
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return fallback_.neighbor_at(v, j);
+}
+
+void CachedTopology::neighbors(NodeId v, std::vector<NodeId>& out) {
+  auto it = cached_.find(v);
+  if (it != cached_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    out.insert(out.end(), it->second.begin(), it->second.end());
+    return;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  fallback_.neighbors(v, out);
+}
+
+}  // namespace gnndrive

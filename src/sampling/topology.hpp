@@ -1,0 +1,116 @@
+// Topology access paths for the sample stage.
+//
+// All systems keep the CSC index-pointer array in host memory; they differ
+// in how the (large, on-SSD) index array is reached:
+//  * MmapTopology — through the simulated page cache, like PyG+ and
+//    GNNDrive ("GNNDrive does memory-mapped sampling like PyG+"). This is
+//    where memory contention bites: evicted topology pages fault through
+//    the modeled device.
+//  * InMemTopology — fully resident (tests, MariusGNN's buffered partitions).
+//  * CachedTopology — Ginex's neighbor cache: neighbor lists of the
+//    highest-degree nodes pinned in host memory, falling back to mmap.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "memsim/mmap_region.hpp"
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+class TopologyReader {
+ public:
+  virtual ~TopologyReader() = default;
+  virtual std::uint64_t degree(NodeId v) const = 0;
+  /// The j-th in-neighbor of v (j < degree(v)).
+  virtual NodeId neighbor_at(NodeId v, std::uint64_t j) = 0;
+  /// All in-neighbors of v appended to `out`.
+  virtual void neighbors(NodeId v, std::vector<NodeId>& out) = 0;
+};
+
+/// On-disk int64 indices via an mmap'd region (page-cache mediated).
+class MmapTopology final : public TopologyReader {
+ public:
+  MmapTopology(const Dataset& dataset, PageCache& cache)
+      : indptr_(&dataset.indptr()),
+        region_(cache, dataset.layout().indices_offset,
+                dataset.layout().indices_bytes) {}
+
+  std::uint64_t degree(NodeId v) const override {
+    return (*indptr_)[v + 1] - (*indptr_)[v];
+  }
+  NodeId neighbor_at(NodeId v, std::uint64_t j) override {
+    return static_cast<NodeId>(
+        region_.read_at<std::int64_t>((*indptr_)[v] + j));
+  }
+  // Thread-safe: the page cache is internally synchronized and this reader
+  // keeps no mutable state (shared across Ginex's sampling workers).
+  void neighbors(NodeId v, std::vector<NodeId>& out) override {
+    const std::uint64_t deg = degree(v);
+    if (deg == 0) return;
+    std::vector<std::int64_t> scratch(deg);
+    region_.read_array<std::int64_t>((*indptr_)[v], deg, scratch.data());
+    for (std::uint64_t j = 0; j < deg; ++j) {
+      out.push_back(static_cast<NodeId>(scratch[j]));
+    }
+  }
+
+ private:
+  const std::vector<EdgeId>* indptr_;
+  MmapRegion region_;
+};
+
+/// Fully in-memory CSC.
+class InMemTopology final : public TopologyReader {
+ public:
+  explicit InMemTopology(const CscGraph& csc) : csc_(&csc) {}
+  std::uint64_t degree(NodeId v) const override { return csc_->in_degree(v); }
+  NodeId neighbor_at(NodeId v, std::uint64_t j) override {
+    return csc_->indices[csc_->indptr[v] + j];
+  }
+  void neighbors(NodeId v, std::vector<NodeId>& out) override {
+    for (EdgeId e = csc_->indptr[v]; e < csc_->indptr[v + 1]; ++e) {
+      out.push_back(csc_->indices[e]);
+    }
+  }
+
+ private:
+  const CscGraph* csc_;
+};
+
+/// Ginex-style neighbor cache: hottest nodes' adjacency pinned in memory.
+class CachedTopology final : public TopologyReader {
+ public:
+  /// Fills the cache greedily by descending degree until `budget_bytes` of
+  /// neighbor data (8 B per edge, as stored on disk) is pinned.
+  CachedTopology(const Dataset& dataset, PageCache& cache,
+                 std::uint64_t budget_bytes);
+
+  std::uint64_t degree(NodeId v) const override {
+    return fallback_.degree(v);
+  }
+  NodeId neighbor_at(NodeId v, std::uint64_t j) override;
+  void neighbors(NodeId v, std::vector<NodeId>& out) override;
+
+  std::uint64_t cached_nodes() const { return cached_.size(); }
+  std::uint64_t cached_bytes() const { return cached_bytes_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Read-only after construction except for the atomic hit counters, so one
+  // instance can serve all of Ginex's sampling workers.
+  MmapTopology fallback_;
+  std::unordered_map<NodeId, std::vector<NodeId>> cached_;
+  std::uint64_t cached_bytes_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace gnndrive

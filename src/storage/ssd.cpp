@@ -1,0 +1,173 @@
+#include "storage/ssd.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gnndrive {
+
+FileBackend::FileBackend(const std::string& path, std::uint64_t size)
+    : size_(size) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  GD_CHECK_MSG(fd_ >= 0, "FileBackend: cannot open backing file");
+  GD_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(size)) == 0,
+               "FileBackend: ftruncate failed");
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBackend::read(std::uint64_t offset, std::uint32_t len, void* dst) {
+  GD_CHECK(offset + len <= size_);
+  auto* p = static_cast<std::uint8_t*>(dst);
+  std::uint32_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, p + done, len - done,
+                              static_cast<off_t>(offset + done));
+    GD_CHECK_MSG(n > 0, "FileBackend: pread failed");
+    done += static_cast<std::uint32_t>(n);
+  }
+}
+
+void FileBackend::write(std::uint64_t offset, std::uint32_t len,
+                        const void* src) {
+  GD_CHECK(offset + len <= size_);
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  std::uint32_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd_, p + done, len - done,
+                               static_cast<off_t>(offset + done));
+    GD_CHECK_MSG(n > 0, "FileBackend: pwrite failed");
+    done += static_cast<std::uint32_t>(n);
+  }
+}
+
+SsdDevice::SsdDevice(SsdConfig config, std::shared_ptr<SsdBackend> backend)
+    : config_(config), backend_(std::move(backend)) {
+  GD_CHECK(config_.channels > 0);
+  channel_free_.assign(config_.channels, Clock::now());
+  device_thread_ = std::thread([this] { device_loop(); });
+}
+
+SsdDevice::~SsdDevice() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  device_thread_.join();
+}
+
+Duration SsdDevice::service_time(Op op, std::uint32_t len) const {
+  const double base_us =
+      op == Op::kRead ? config_.read_latency_us : config_.write_latency_us;
+  const double per_channel_mb_s =
+      config_.bandwidth_mb_s / static_cast<double>(config_.channels);
+  const double transfer_us =
+      static_cast<double>(len) / per_channel_mb_s;  // bytes / (MB/s) == us
+  return from_us((base_us + transfer_us) * config_.time_scale);
+}
+
+void SsdDevice::submit(Op op, std::uint64_t offset, std::uint32_t len,
+                       void* buf, std::function<void()> on_complete) {
+  GD_CHECK(offset + len <= backend_->size());
+  const TimePoint now = Clock::now();
+  const Duration service = service_time(op, len);
+  {
+    std::lock_guard lock(mu_);
+    // Pick the channel that frees up earliest (c-server queue).
+    auto it = std::min_element(channel_free_.begin(), channel_free_.end());
+    const TimePoint start = std::max(now, *it);
+    const TimePoint done = start + service;
+    *it = done;
+    pending_.push(Pending{done, op, offset, len, buf, std::move(on_complete)});
+    ++in_flight_;
+    stats_.busy_seconds += to_seconds(service);
+    if (op == Op::kRead) {
+      ++stats_.reads;
+      stats_.bytes_read += len;
+    } else {
+      ++stats_.writes;
+      stats_.bytes_written += len;
+    }
+  }
+  cv_.notify_one();
+}
+
+void SsdDevice::read_sync(std::uint64_t offset, std::uint32_t len, void* dst) {
+  std::mutex m;
+  std::condition_variable done_cv;
+  bool done = false;
+  submit(Op::kRead, offset, len, dst, [&] {
+    std::lock_guard lk(m);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock lk(m);
+  done_cv.wait(lk, [&] { return done; });
+}
+
+void SsdDevice::write_sync(std::uint64_t offset, std::uint32_t len,
+                           const void* src) {
+  std::mutex m;
+  std::condition_variable done_cv;
+  bool done = false;
+  submit(Op::kWrite, offset, len, const_cast<void*>(src), [&] {
+    std::lock_guard lk(m);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock lk(m);
+  done_cv.wait(lk, [&] { return done; });
+}
+
+void SsdDevice::drain() {
+  std::unique_lock lock(mu_);
+  drained_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+SsdStats SsdDevice::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void SsdDevice::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = SsdStats{};
+}
+
+void SsdDevice::device_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stop_) return;
+      cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    const TimePoint due = pending_.top().done_at;
+    if (Clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    // Completion: move the request out, do the data movement and callback
+    // without holding the lock.
+    Pending req = std::move(const_cast<Pending&>(pending_.top()));
+    pending_.pop();
+    lock.unlock();
+    if (req.op == Op::kRead) {
+      backend_->read(req.offset, req.len, req.buf);
+    } else {
+      backend_->write(req.offset, req.len, req.buf);
+    }
+    if (req.on_complete) req.on_complete();
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0) drained_.notify_all();
+  }
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,154 @@
+// Simulated solid-state drive.
+//
+// The paper's experiments run against a SAMSUNG PM883 SATA SSD (and an Intel
+// DC S3510 on the multi-GPU box). This environment has no dedicated storage
+// device, so the SSD is modeled as a discrete-event device that completes
+// requests on a *wall-clock* schedule:
+//
+//   service_time = base_latency(op) + length / per_channel_bandwidth
+//
+// with `channels` independent service channels (internal NAND parallelism).
+// A request's completion time is max(now, earliest_free_channel) + service.
+// Because completions happen in real time on a device thread, synchronous
+// callers genuinely block for the modeled latency and asynchronous callers
+// genuinely overlap — the exact mechanism Appendix A/B of the paper measures.
+//
+// Data is held by a backend (RAM image by default; a real file optionally),
+// so reads return real bytes and extraction correctness is testable.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+/// Storage for the simulated drive's contents.
+class SsdBackend {
+ public:
+  virtual ~SsdBackend() = default;
+  virtual void read(std::uint64_t offset, std::uint32_t len, void* dst) = 0;
+  virtual void write(std::uint64_t offset, std::uint32_t len,
+                     const void* src) = 0;
+  virtual std::uint64_t size() const = 0;
+};
+
+/// RAM-image backend: deterministic and fast; the default for experiments.
+class MemBackend final : public SsdBackend {
+ public:
+  explicit MemBackend(std::uint64_t size) : data_(size) {}
+  void read(std::uint64_t offset, std::uint32_t len, void* dst) override {
+    GD_CHECK(offset + len <= data_.size());
+    std::memcpy(dst, data_.data() + offset, len);
+  }
+  void write(std::uint64_t offset, std::uint32_t len,
+             const void* src) override {
+    GD_CHECK(offset + len <= data_.size());
+    std::memcpy(data_.data() + offset, src, len);
+  }
+  std::uint64_t size() const override { return data_.size(); }
+  /// Direct access for cheap dataset initialization (bypasses the device
+  /// model; only used before an experiment starts).
+  std::uint8_t* raw() { return data_.data(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Real-file backend: pread/pwrite against a file on the host filesystem.
+class FileBackend final : public SsdBackend {
+ public:
+  /// Creates (or truncates) `path` with `size` bytes.
+  FileBackend(const std::string& path, std::uint64_t size);
+  ~FileBackend() override;
+  void read(std::uint64_t offset, std::uint32_t len, void* dst) override;
+  void write(std::uint64_t offset, std::uint32_t len,
+             const void* src) override;
+  std::uint64_t size() const override { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+struct SsdConfig {
+  double read_latency_us = 80.0;    ///< Base service latency per read.
+  double write_latency_us = 25.0;   ///< Base service latency per write.
+  double bandwidth_mb_s = 2000.0;   ///< Aggregate device bandwidth.
+  unsigned channels = 16;           ///< Internal parallelism.
+  double time_scale = 1.0;          ///< Multiplier on all service times.
+};
+
+struct SsdStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double busy_seconds = 0.0;  ///< Sum of per-channel service time.
+};
+
+class SsdDevice : NonCopyable {
+ public:
+  enum class Op { kRead, kWrite };
+
+  SsdDevice(SsdConfig config, std::shared_ptr<SsdBackend> backend);
+  ~SsdDevice();
+
+  /// Submits an asynchronous request. `on_complete` runs on the device thread
+  /// after the modeled service time elapses and the data movement happened;
+  /// it must be cheap and must not call back into the device.
+  void submit(Op op, std::uint64_t offset, std::uint32_t len, void* buf,
+              std::function<void()> on_complete);
+
+  /// Convenience synchronous operations (submit + block until completion).
+  void read_sync(std::uint64_t offset, std::uint32_t len, void* dst);
+  void write_sync(std::uint64_t offset, std::uint32_t len, const void* src);
+
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  const SsdConfig& config() const { return config_; }
+  SsdBackend& backend() { return *backend_; }
+  SsdStats stats() const;
+  void reset_stats();
+
+  /// Modeled service time for a request of `len` bytes (no queueing).
+  Duration service_time(Op op, std::uint32_t len) const;
+
+ private:
+  struct Pending {
+    TimePoint done_at;
+    Op op;
+    std::uint64_t offset;
+    std::uint32_t len;
+    void* buf;
+    std::function<void()> on_complete;
+    bool operator>(const Pending& other) const {
+      return done_at > other.done_at;
+    }
+  };
+
+  void device_loop();
+
+  const SsdConfig config_;
+  std::shared_ptr<SsdBackend> backend_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  std::vector<TimePoint> channel_free_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  SsdStats stats_;
+  std::thread device_thread_;
+};
+
+}  // namespace gnndrive

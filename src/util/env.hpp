@@ -1,0 +1,30 @@
+// Environment-variable knobs for benches (e.g. GNNDRIVE_BENCH_MODE=full).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace gnndrive {
+
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtol(v, nullptr, 10) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+/// True when GNNDRIVE_BENCH_MODE=full: benches run the paper's complete
+/// sweeps instead of the quick default subset.
+inline bool bench_full_mode() {
+  return env_str("GNNDRIVE_BENCH_MODE", "quick") == "full";
+}
+
+}  // namespace gnndrive

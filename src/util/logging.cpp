@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gnndrive {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("GNNDRIVE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+constexpr const char* kNames[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_at(LogLevel level, const char* fmt, ...) {
+  if (level > log_level()) return;
+  char line[1024];
+  int off = std::snprintf(line, sizeof(line), "[%s] ",
+                          kNames[static_cast<int>(level)]);
+  va_list args;
+  va_start(args, fmt);
+  off += std::vsnprintf(line + off, sizeof(line) - off - 2, fmt, args);
+  va_end(args);
+  if (off > static_cast<int>(sizeof(line)) - 2) off = sizeof(line) - 2;
+  line[off] = '\n';
+  line[off + 1] = '\0';
+  std::fputs(line, stderr);
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,23 @@
+// Minimal leveled logger. Controlled by the GNNDRIVE_LOG env var
+// (error|warn|info|debug); defaults to warn so tests and benches stay quiet.
+#pragma once
+
+#include <cstdarg>
+
+namespace gnndrive {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging; thread-safe (single atomic write per line).
+void log_at(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define GD_LOG_ERROR(...) ::gnndrive::log_at(::gnndrive::LogLevel::kError, __VA_ARGS__)
+#define GD_LOG_WARN(...)  ::gnndrive::log_at(::gnndrive::LogLevel::kWarn, __VA_ARGS__)
+#define GD_LOG_INFO(...)  ::gnndrive::log_at(::gnndrive::LogLevel::kInfo, __VA_ARGS__)
+#define GD_LOG_DEBUG(...) ::gnndrive::log_at(::gnndrive::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace gnndrive

@@ -1,0 +1,85 @@
+// Intrusive LRU list over dense integer ids.
+//
+// Backs the feature buffer's *standby list* (Sect. 4.2): slots with zero
+// reference count live here in least-recently-used order; reuse by a new node
+// pops the LRU head, reuse by the *same* node removes the slot from the middle
+// in O(1). Also reused by the simulated page cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+class IndexedLruList : NonCopyable {
+ public:
+  /// Ids must be in [0, capacity). The list starts empty.
+  explicit IndexedLruList(std::size_t capacity)
+      : next_(capacity, kNil), prev_(capacity, kNil) {}
+
+  std::size_t capacity() const { return next_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(std::uint32_t id) const {
+    return prev_[id] != kNil || head_ == id;
+  }
+
+  /// Inserts `id` at the most-recently-used end (the tail). Must not already
+  /// be present.
+  void push_mru(std::uint32_t id) {
+    GD_CHECK_MSG(!contains(id), "id already in LRU list");
+    prev_[id] = tail_;
+    next_[id] = kNil;
+    if (tail_ != kNil) {
+      next_[tail_] = id;
+    } else {
+      head_ = id;
+    }
+    tail_ = id;
+    ++size_;
+  }
+
+  /// Removes and returns the least-recently-used id; list must be non-empty.
+  std::uint32_t pop_lru() {
+    GD_CHECK(size_ > 0);
+    const std::uint32_t id = head_;
+    remove(id);
+    return id;
+  }
+
+  /// Peeks the LRU id without removing; kNilId if empty.
+  std::uint32_t peek_lru() const { return head_; }
+
+  /// O(1) removal from any position. `id` must be present.
+  void remove(std::uint32_t id) {
+    GD_CHECK_MSG(contains(id), "removing id not in LRU list");
+    const std::uint32_t p = prev_[id];
+    const std::uint32_t n = next_[id];
+    if (p != kNil) next_[p] = n; else head_ = n;
+    if (n != kNil) prev_[n] = p; else tail_ = p;
+    prev_[id] = kNil;
+    next_[id] = kNil;
+    --size_;
+  }
+
+  /// Moves an already-present id to the MRU end (classic LRU touch).
+  void touch(std::uint32_t id) {
+    remove(id);
+    push_mru(id);
+  }
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kNilId = kNil;
+
+ private:
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> prev_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,92 @@
+// Bounded blocking multi-producer/multi-consumer queue.
+//
+// This is the "middle-person" primitive of the GNNDrive pipeline (Sect. 4.1):
+// the extracting, training and releasing queues are all instances. Producers
+// block when the queue is full (the paper: "samplers and extractors would be
+// blocked if corresponding queues are full"); consumers block when empty.
+// close() releases all waiters, letting stages drain and terminate cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+template <typename T>
+class BoundedQueue : NonCopyable {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    GD_CHECK(capacity > 0);
+  }
+
+  /// Blocks until space is available. Returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available. Empty optional means closed & drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; empty optional when nothing is ready.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes all blocked producers/consumers; subsequent pushes fail and pops
+  /// drain the remaining items then return nullopt.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Re-arms a closed queue for reuse (e.g. the next training epoch).
+  void reopen() {
+    std::lock_guard lock(mu_);
+    closed_ = false;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,77 @@
+// Fast deterministic RNG (SplitMix64 seeding + xoshiro256**) used everywhere
+// randomness is needed: graph generation, feature synthesis, sampling.
+// Deterministic per seed so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gnndrive {
+
+/// One step of SplitMix64; also useful as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift (slightly biased
+  /// for huge bounds; irrelevant at our scales).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; cheap enough).
+  double next_normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace gnndrive

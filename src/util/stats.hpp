@@ -1,0 +1,93 @@
+// Small statistics helpers used by benches and telemetry reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gnndrive {
+
+/// Streaming mean/min/max/stddev (Welford).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const {
+    return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
+  }
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-boundary latency histogram (microseconds), log2 buckets.
+class LatencyHistogram {
+ public:
+  void add_us(double us) {
+    ++count_;
+    sum_us_ += us;
+    int bucket = 0;
+    double bound = 1.0;
+    while (us > bound && bucket < kBuckets - 1) {
+      bound *= 2.0;
+      ++bucket;
+    }
+    ++buckets_[bucket];
+  }
+  std::uint64_t count() const { return count_; }
+  double mean_us() const {
+    return count_ ? sum_us_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Approximate percentile from bucket boundaries.
+  double percentile_us(double p) const {
+    if (count_ == 0) return 0.0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    double bound = 1.0;
+    for (int i = 0; i < kBuckets; ++i, bound *= 2.0) {
+      seen += buckets_[i];
+      if (seen > target) return bound;
+    }
+    return bound;
+  }
+
+ private:
+  static constexpr int kBuckets = 32;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+};
+
+/// Exact percentile over a collected sample set (benches, small n).
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace gnndrive

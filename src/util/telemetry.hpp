@@ -1,0 +1,113 @@
+// Time-bucketed activity tracing.
+//
+// The paper's Figures 3 and 11 plot CPU utilization, GPU utilization and the
+// ratio of I/O wait time over a window of three epochs. On the real testbed
+// these come from OS counters; in the simulation every thread reports its
+// busy/blocked intervals here instead, bucketed on a wall-clock grid, and the
+// benches turn the buckets into the same utilization series.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+enum class TraceCat : int {
+  kCpuBusy = 0,   ///< Thread doing computation (sampling, training math, ...).
+  kIoWait = 1,    ///< Thread blocked waiting for storage I/O completion.
+  kGpuBusy = 2,   ///< Simulated GPU executing compute or copies.
+  kCount = 3,
+};
+
+/// One activity trace. Not a singleton: each experiment owns one and wires it
+/// into the components it wants profiled. Thread-safe via atomics.
+class Telemetry {
+ public:
+  /// `bucket_ms`: grid width; `max_buckets`: trace length cap.
+  explicit Telemetry(double bucket_ms = 100.0, std::size_t max_buckets = 8192);
+
+  /// Marks t=0 of the trace. Intervals before start() are dropped.
+  void start();
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  /// Records that `cat` was active during [begin, end); the interval is
+  /// apportioned across the buckets it overlaps.
+  void record(TraceCat cat, TimePoint begin, TimePoint end);
+
+  struct Bucket {
+    double t_seconds;  ///< Bucket start relative to trace start.
+    double cpu_busy;   ///< Busy thread-seconds in this bucket.
+    double io_wait;
+    double gpu_busy;
+  };
+  /// Snapshot of all buckets up to the last one touched.
+  std::vector<Bucket> snapshot() const;
+
+  double bucket_seconds() const { return bucket_ms_ / 1e3; }
+
+  /// Total seconds recorded per category (for summary ratios).
+  double total_seconds(TraceCat cat) const;
+
+ private:
+  const double bucket_ms_;
+  std::atomic<bool> started_{false};
+  TimePoint t0_{};
+  std::atomic<std::size_t> hi_bucket_{0};
+  // nanoseconds per (bucket, category)
+  std::vector<std::array<std::atomic<std::uint64_t>, 3>> cells_;
+};
+
+/// Thread-local accumulator of I/O-wait seconds, so compute scopes can
+/// subtract time the thread actually spent blocked on storage.
+double thread_io_wait_seconds();
+void add_thread_io_wait(double seconds);
+
+/// RAII helper: records the lifetime of the scope under `cat`.
+class ScopedTrace : NonCopyable {
+ public:
+  ScopedTrace(Telemetry* t, TraceCat cat)
+      : t_(t), cat_(cat), begin_(Clock::now()) {}
+  ~ScopedTrace() {
+    const TimePoint end = Clock::now();
+    if (cat_ == TraceCat::kIoWait) {
+      add_thread_io_wait(to_seconds(end - begin_));
+    }
+    if (t_ != nullptr && t_->started()) t_->record(cat_, begin_, end);
+  }
+
+ private:
+  Telemetry* t_;
+  TraceCat cat_;
+  TimePoint begin_;
+};
+
+/// RAII helper for CPU work that may block on I/O inside: records the scope
+/// duration *minus* the I/O wait accumulated within it as kCpuBusy, so the
+/// utilization plots show CPU dropping while I/O wait rises (Figs. 3/11).
+class BusyScope : NonCopyable {
+ public:
+  BusyScope(Telemetry* t, TraceCat cat = TraceCat::kCpuBusy)
+      : t_(t), cat_(cat), begin_(Clock::now()),
+        io_at_begin_(thread_io_wait_seconds()) {}
+  ~BusyScope() {
+    const TimePoint end = Clock::now();
+    if (t_ == nullptr || !t_->started()) return;
+    const double io = thread_io_wait_seconds() - io_at_begin_;
+    const double busy = to_seconds(end - begin_) - io;
+    if (busy > 0) {
+      t_->record(cat_, begin_, begin_ + from_us(busy * 1e6));
+    }
+  }
+
+ private:
+  Telemetry* t_;
+  TraceCat cat_;
+  TimePoint begin_;
+  double io_at_begin_;
+};
+
+}  // namespace gnndrive

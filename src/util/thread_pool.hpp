@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a simple blocking task queue.
+//
+// GNNDrive's own pipeline uses dedicated stage threads; the pool serves the
+// baselines (multi-threaded synchronous extraction in PyG+/Ginex, mirroring
+// the paper's ">2x physical cores for I/O-intensive operations" setup) and
+// parallel-for helpers in tests and benches.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+class ThreadPool : NonCopyable {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable has_work_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gnndrive

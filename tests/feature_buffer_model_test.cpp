@@ -1,0 +1,159 @@
+// Model-checking test: random single-threaded operation sequences on the
+// feature buffer compared against a straightforward reference
+// implementation of the Sect. 4.2 specification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/feature_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+namespace {
+
+/// Reference model: direct transcription of the paper's rules, no cleverness.
+class ReferenceBuffer {
+ public:
+  ReferenceBuffer(std::uint64_t slots, NodeId nodes)
+      : map_(nodes) {
+    for (std::uint64_t s = 0; s < slots; ++s) standby_.push_back(s);
+  }
+
+  struct Entry {
+    std::int64_t slot = -1;
+    std::uint32_t ref = 0;
+    bool valid = false;
+  };
+
+  // Returns what check_and_ref should report.
+  FeatureBuffer::CheckStatus check_and_ref(NodeId v) {
+    Entry& e = map_[v];
+    FeatureBuffer::CheckStatus st;
+    if (e.valid) {
+      if (e.ref == 0) {
+        standby_.erase(std::find(standby_.begin(), standby_.end(),
+                                 static_cast<std::uint64_t>(e.slot)));
+      }
+      st = FeatureBuffer::CheckStatus::kReady;
+    } else if (e.ref > 0) {
+      st = FeatureBuffer::CheckStatus::kInFlight;
+    } else {
+      st = FeatureBuffer::CheckStatus::kMustLoad;
+    }
+    ++e.ref;
+    return st;
+  }
+
+  std::optional<std::uint64_t> allocate(NodeId v) {
+    if (standby_.empty()) return std::nullopt;
+    const std::uint64_t slot = standby_.front();
+    standby_.pop_front();
+    for (auto& e : map_) {
+      if (e.slot == static_cast<std::int64_t>(slot)) {
+        e.slot = -1;
+        e.valid = false;
+      }
+    }
+    map_[v].slot = static_cast<std::int64_t>(slot);
+    return slot;
+  }
+
+  void mark_valid(NodeId v) { map_[v].valid = true; }
+
+  void release(NodeId v) {
+    Entry& e = map_[v];
+    if (--e.ref == 0 && e.slot >= 0) {
+      standby_.push_back(static_cast<std::uint64_t>(e.slot));
+    }
+  }
+
+  const Entry& entry(NodeId v) const { return map_[v]; }
+  std::size_t standby_size() const { return standby_.size(); }
+
+ private:
+  std::vector<Entry> map_;
+  std::deque<std::uint64_t> standby_;  // front == LRU
+};
+
+struct ModelParams {
+  std::uint64_t slots;
+  NodeId nodes;
+  std::uint64_t seed;
+};
+
+struct FeatureBufferModel : ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(FeatureBufferModel, MatchesReferenceOverRandomOps) {
+  const auto p = GetParam();
+  FeatureBufferConfig cfg;
+  cfg.num_slots = p.slots;
+  cfg.row_floats = 1;
+  FeatureBuffer fb(cfg, p.nodes);
+  ReferenceBuffer ref(p.slots, p.nodes);
+
+  // Nodes we currently hold a reference on (so ops stay well-formed) and
+  // nodes in the kMustLoad state awaiting allocate+mark_valid.
+  std::vector<NodeId> held;
+  std::vector<NodeId> loading;
+  Rng rng(p.seed);
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t dice = rng.next_below(10);
+    if (dice < 4) {
+      // check_and_ref a random node.
+      const NodeId v = static_cast<NodeId>(rng.next_below(p.nodes));
+      const auto got = fb.check_and_ref(v);
+      const auto want = ref.check_and_ref(v);
+      ASSERT_EQ(static_cast<int>(got.status), static_cast<int>(want))
+          << "step " << step;
+      if (got.status == FeatureBuffer::CheckStatus::kMustLoad) {
+        loading.push_back(v);
+      } else {
+        held.push_back(v);
+      }
+    } else if (dice < 7 && !loading.empty()) {
+      // Finish a pending load (allocate + mark_valid), single-threaded so
+      // allocate never blocks unless standby is empty — mirror that.
+      const NodeId v = loading.back();
+      const auto want_slot = ref.allocate(v);
+      if (!want_slot.has_value()) continue;  // would block: skip
+      loading.pop_back();
+      const SlotId got_slot = fb.allocate_slot(v);
+      ASSERT_EQ(static_cast<std::uint64_t>(got_slot), *want_slot)
+          << "step " << step;
+      fb.mark_valid(v);
+      ref.mark_valid(v);
+      held.push_back(v);
+    } else if (!held.empty()) {
+      // Release a random held reference.
+      const std::uint64_t idx = rng.next_below(held.size());
+      const NodeId v = held[idx];
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(idx));
+      fb.release_one(v);
+      ref.release(v);
+    }
+    if (step % 131 == 0) {
+      ASSERT_EQ(fb.standby_size(), ref.standby_size()) << "step " << step;
+      for (NodeId v = 0; v < p.nodes; ++v) {
+        const auto got = fb.entry(v);
+        const auto& want = ref.entry(v);
+        ASSERT_EQ(got.slot, want.slot) << "node " << v << " step " << step;
+        ASSERT_EQ(got.ref_count, want.ref) << "node " << v;
+        ASSERT_EQ(got.valid, want.valid) << "node " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FeatureBufferModel,
+                         ::testing::Values(ModelParams{4, 16, 1},
+                                           ModelParams{8, 8, 2},
+                                           ModelParams{16, 100, 3},
+                                           ModelParams{2, 50, 4},
+                                           ModelParams{64, 64, 5}));
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,143 @@
+// Additional NN-library coverage: degenerate shapes, optimizer behaviour,
+// attention heads, flop accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/layers.hpp"
+#include "gnn/model.hpp"
+
+namespace gnndrive {
+namespace {
+
+TEST(GemmShapes, OneByOne) {
+  Tensor a(1, 1);
+  Tensor b(1, 1);
+  Tensor c(1, 1);
+  a.at(0, 0) = 3;
+  b.at(0, 0) = -2;
+  gemm(1.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), -6.0f);
+}
+
+TEST(GemmShapes, SingleRowTimesSingleColumn) {
+  Tensor a(1, 5);
+  Tensor b(5, 1);
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    a.at(0, k) = static_cast<float>(k + 1);
+    b.at(k, 0) = 1.0f;
+  }
+  Tensor c(1, 1);
+  gemm(1.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 15.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = 0.5 * (w - 3)^2 elementwise.
+  Param w(Tensor::zeros(2, 2));
+  Adam adam(AdamConfig{.lr = 0.05f});
+  for (int step = 0; step < 500; ++step) {
+    for (std::size_t i = 0; i < w.value.size(); ++i) {
+      w.grad.data()[i] = w.value.data()[i] - 3.0f;
+    }
+    adam.step({&w});
+    adam.zero_grad({&w});
+  }
+  for (std::size_t i = 0; i < w.value.size(); ++i) {
+    EXPECT_NEAR(w.value.data()[i], 3.0f, 0.05f);
+  }
+}
+
+TEST(GatHeads, OutputShapeIndependentOfHeadCount) {
+  LayerBlock block;
+  block.num_dst = 2;
+  block.num_src = 4;
+  block.edge_src = {2, 3, 1};
+  block.edge_dst = {0, 0, 1};
+  Rng rng(3);
+  Tensor x = Tensor::uniform(4, 6, rng, 1.0f);
+  for (std::uint32_t heads : {1u, 2u, 4u}) {
+    GatConv conv(6, 8, heads, rng);
+    Tensor y = conv.forward(block, x);
+    EXPECT_EQ(y.rows(), 2u);
+    EXPECT_EQ(y.cols(), 8u);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(y.data()[i]));
+    }
+  }
+}
+
+TEST(GatHeads, IndivisibleHeadCountRejected) {
+  Rng rng(3);
+  EXPECT_DEATH(GatConv(6, 8, 3, rng), "divide");
+}
+
+TEST(ModelFlops, MonotoneInHiddenDim) {
+  LayerBlock b0;
+  b0.num_dst = 4;
+  b0.num_src = 10;
+  LayerBlock b1;
+  b1.num_dst = 10;
+  b1.num_src = 20;
+  SampledBatch batch;
+  batch.num_seeds = 4;
+  batch.nodes.resize(20);
+  batch.blocks = {b0, b1};
+  batch.labels.assign(4, 0);
+
+  std::uint64_t prev = 0;
+  for (std::uint32_t hidden : {8u, 32u, 128u}) {
+    ModelConfig mc;
+    mc.kind = ModelKind::kSage;
+    mc.in_dim = 16;
+    mc.hidden_dim = hidden;
+    mc.num_classes = 4;
+    mc.num_layers = 2;
+    GnnModel model(mc);
+    const std::uint64_t f = model.flops(batch);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(CountCorrect, FirstArgmaxWinsOnTies) {
+  Tensor logits(1, 3);  // all zeros: argmax is index 0
+  EXPECT_EQ(count_correct(logits, {0}), 1u);
+  EXPECT_EQ(count_correct(logits, {2}), 0u);
+}
+
+TEST(Relu, AllNegativeBecomesZeroAndBlocksGradient) {
+  Tensor x(1, 4);
+  for (std::uint32_t j = 0; j < 4; ++j) x.at(0, j) = -1.0f - j;
+  Tensor mask;
+  relu_forward(x, mask);
+  Tensor g(1, 4);
+  g.fill(5.0f);
+  relu_backward(g, mask);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(x.at(0, j), 0.0f);
+    EXPECT_FLOAT_EQ(g.at(0, j), 0.0f);
+  }
+}
+
+TEST(ParamAccounting, BytesCoverValueGradAndAdamState) {
+  Param p(Tensor::zeros(10, 20));
+  EXPECT_EQ(p.bytes(), 10u * 20 * 4 * 4);  // value + grad + m + v
+}
+
+TEST(ModelConfig, LayerDimsChainCorrectly) {
+  ModelConfig mc;
+  mc.kind = ModelKind::kGcn;
+  mc.in_dim = 12;
+  mc.hidden_dim = 7;
+  mc.num_classes = 3;
+  mc.num_layers = 3;
+  GnnModel model(mc);
+  // 3 GCN layers: (12x7 + 7) + (7x7 + 7) + (7x3 + 3) parameters.
+  std::uint64_t total = 0;
+  for (const Param* p : model.params()) total += p->value.size();
+  EXPECT_EQ(total, 12u * 7 + 7 + 7 * 7 + 7 + 7 * 3 + 3);
+}
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,182 @@
+// Graph builders, generators, and dataset construction/layout.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+
+namespace gnndrive {
+namespace {
+
+TEST(BuildCsc, NeighborsSortedByDestination) {
+  // Edges (src, dst).
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 2}, {1, 2}, {3, 0}, {2, 1}, {0, 1}};
+  CscGraph g = build_csc(4, edges);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.in_degree(3), 0u);
+  // In-neighbors of node 2 are {0, 1}.
+  std::set<NodeId> n2(g.indices.begin() + g.indptr[2],
+                      g.indices.begin() + g.indptr[3]);
+  EXPECT_EQ(n2, (std::set<NodeId>{0, 1}));
+}
+
+TEST(CommunityGraph, EdgeCountAndLabels) {
+  CommunityGraphParams p;
+  p.num_nodes = 1000;
+  p.num_edges = 10000;
+  p.num_communities = 8;
+  p.seed = 5;
+  CommunityGraph g = generate_community_graph(p);
+  EXPECT_EQ(g.csc.num_nodes, 1000u);
+  EXPECT_EQ(g.csc.num_edges(), 10000u);
+  for (NodeId v = 0; v < 1000; ++v) {
+    EXPECT_EQ(g.labels[v], static_cast<std::int32_t>(v % 8));
+  }
+}
+
+TEST(CommunityGraph, DeterministicPerSeed) {
+  CommunityGraphParams p;
+  p.num_nodes = 500;
+  p.num_edges = 4000;
+  p.seed = 77;
+  CommunityGraph a = generate_community_graph(p);
+  CommunityGraph b = generate_community_graph(p);
+  EXPECT_EQ(a.csc.indices, b.csc.indices);
+  p.seed = 78;
+  CommunityGraph c = generate_community_graph(p);
+  EXPECT_NE(a.csc.indices, c.csc.indices);
+}
+
+TEST(CommunityGraph, IntraCommunityBias) {
+  CommunityGraphParams p;
+  p.num_nodes = 2000;
+  p.num_edges = 40000;
+  p.num_communities = 8;
+  p.intra_prob = 0.8;
+  p.seed = 9;
+  CommunityGraph g = generate_community_graph(p);
+  std::uint64_t intra = 0;
+  for (NodeId dst = 0; dst < p.num_nodes; ++dst) {
+    for (EdgeId e = g.csc.indptr[dst]; e < g.csc.indptr[dst + 1]; ++e) {
+      if (g.labels[g.csc.indices[e]] == g.labels[dst]) ++intra;
+    }
+  }
+  const double frac =
+      static_cast<double>(intra) / static_cast<double>(g.csc.num_edges());
+  EXPECT_GT(frac, 0.7);  // 0.8 forced + chance agreements
+}
+
+TEST(CommunityGraph, DegreeSkew) {
+  CommunityGraphParams p;
+  p.num_nodes = 10000;
+  p.num_edges = 100000;
+  p.skew = 2.0;
+  p.seed = 4;
+  CommunityGraph g = generate_community_graph(p);
+  // Low ids should collect far more in-edges than high ids.
+  std::uint64_t low = 0;
+  std::uint64_t high = 0;
+  for (NodeId v = 0; v < 1000; ++v) low += g.csc.in_degree(v);
+  for (NodeId v = 9000; v < 10000; ++v) high += g.csc.in_degree(v);
+  EXPECT_GT(low, high * 5);
+}
+
+TEST(Rmat, PowerOfTwoAndDeterministic) {
+  CscGraph a = generate_rmat(1024, 8000, 0.57, 0.19, 0.19, 3);
+  CscGraph b = generate_rmat(1024, 8000, 0.57, 0.19, 0.19, 3);
+  EXPECT_EQ(a.num_nodes, 1024u);
+  EXPECT_EQ(a.num_edges(), 8000u);
+  EXPECT_EQ(a.indices, b.indices);
+}
+
+TEST(DatasetSpec, RegistryMatchesPaperScaling) {
+  const DatasetSpec papers = mini_spec("papers100m");
+  EXPECT_EQ(papers.num_nodes, 222000u);
+  EXPECT_EQ(papers.feature_dim, 128u);
+  const DatasetSpec mag = mini_spec("mag240m");
+  EXPECT_EQ(mag.feature_dim, 768u);
+  EXPECT_EQ(mag.num_nodes, 244000u);
+  // Dimension override for sweeps.
+  EXPECT_EQ(mini_spec("twitter", 512).feature_dim, 512u);
+  // "-mini" suffix tolerated.
+  EXPECT_EQ(mini_spec("friendster-mini").num_nodes,
+            mini_spec("friendster").num_nodes);
+}
+
+TEST(Dataset, LayoutIsSectorAlignedAndOrdered) {
+  Dataset ds = Dataset::build(toy_spec());
+  const auto& lay = ds.layout();
+  EXPECT_EQ(lay.features_offset % kSectorSize, 0u);
+  EXPECT_EQ(lay.scratch_offset % kSectorSize, 0u);
+  EXPECT_GE(lay.features_offset, lay.indices_bytes);
+  EXPECT_GE(lay.labels_offset, lay.features_offset + lay.features_bytes);
+  EXPECT_EQ(lay.total_bytes, ds.image()->size());
+}
+
+TEST(Dataset, IndptrConsistentWithEdges) {
+  Dataset ds = Dataset::build(toy_spec());
+  EXPECT_EQ(ds.indptr().size(), ds.spec().num_nodes + 1);
+  EXPECT_EQ(ds.indptr().back(), ds.spec().num_edges);
+}
+
+TEST(Dataset, OnDiskIndicesMatchInMemoryGraph) {
+  Dataset ds = Dataset::build(toy_spec(), /*keep_graph=*/true);
+  ASSERT_TRUE(ds.csc().has_value());
+  const CscGraph& csc = *ds.csc();
+  for (NodeId v = 0; v < 100; ++v) {
+    const auto from_disk = ds.read_neighbors(v);
+    std::vector<NodeId> expected(csc.indices.begin() + csc.indptr[v],
+                                 csc.indices.begin() + csc.indptr[v + 1]);
+    EXPECT_EQ(from_disk, expected) << "node " << v;
+  }
+}
+
+TEST(Dataset, FeatureRowsDeterministicAndLabelCorrelated) {
+  Dataset a = Dataset::build(toy_spec());
+  Dataset b = Dataset::build(toy_spec());
+  std::vector<float> ra(a.spec().feature_dim);
+  std::vector<float> rb(b.spec().feature_dim);
+  a.read_feature_row(123, ra.data());
+  b.read_feature_row(123, rb.data());
+  EXPECT_EQ(ra, rb);
+
+  // Same-label nodes are closer (feature = centroid + noise).
+  std::vector<float> same(a.spec().feature_dim);
+  std::vector<float> other(a.spec().feature_dim);
+  const std::uint32_t c = a.spec().num_classes;
+  a.read_feature_row(123 + c, same.data());   // same community (id % c)
+  a.read_feature_row(124, other.data());      // different community
+  double d_same = 0;
+  double d_other = 0;
+  for (std::uint32_t k = 0; k < a.spec().feature_dim; ++k) {
+    d_same += (ra[k] - same[k]) * (ra[k] - same[k]);
+    d_other += (ra[k] - other[k]) * (ra[k] - other[k]);
+  }
+  EXPECT_LT(d_same, d_other);
+}
+
+TEST(Dataset, SplitsDisjointAndSized) {
+  Dataset ds = Dataset::build(toy_spec());
+  std::set<NodeId> train(ds.train_nodes().begin(), ds.train_nodes().end());
+  EXPECT_EQ(train.size(), ds.train_nodes().size());  // no duplicates
+  for (NodeId v : ds.valid_nodes()) EXPECT_EQ(train.count(v), 0u);
+  EXPECT_NEAR(static_cast<double>(train.size()),
+              ds.spec().train_fraction * ds.spec().num_nodes, 1.0);
+}
+
+TEST(Dataset, LabelsOnDiskMatchHostCopy) {
+  Dataset ds = Dataset::build(toy_spec());
+  std::vector<std::int32_t> disk(ds.spec().num_nodes);
+  ds.image()->read(ds.layout().labels_offset,
+                   static_cast<std::uint32_t>(ds.layout().labels_bytes),
+                   disk.data());
+  EXPECT_EQ(disk, ds.labels());
+}
+
+}  // namespace
+}  // namespace gnndrive

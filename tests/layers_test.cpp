@@ -1,0 +1,230 @@
+// Numerical gradient checks for every conv layer: parameter gradients AND
+// input gradients on small random blocks. This validates the hand-derived
+// backward passes the whole training stack rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "gnn/layers.hpp"
+
+namespace gnndrive {
+namespace {
+
+/// A small random block with the sampler's invariants: dst nodes are a
+/// prefix of src nodes; edges grouped by non-decreasing dst.
+LayerBlock random_block(std::uint32_t num_dst, std::uint32_t num_src,
+                        std::uint32_t max_fan, std::uint64_t seed,
+                        bool leave_isolated_dst = true) {
+  LayerBlock block;
+  block.num_dst = num_dst;
+  block.num_src = num_src;
+  Rng rng(seed);
+  for (std::uint32_t d = 0; d < num_dst; ++d) {
+    if (leave_isolated_dst && d == 1) continue;  // zero-degree destination
+    const auto fan = 1 + rng.next_below(max_fan);
+    for (std::uint64_t e = 0; e < fan; ++e) {
+      block.edge_src.push_back(
+          static_cast<std::uint32_t>(rng.next_below(num_src)));
+      block.edge_dst.push_back(d);
+    }
+  }
+  return block;
+}
+
+/// Scalar objective: sum of 0.5*y^2 over the conv output (gradient == y).
+double objective(Conv& conv, const LayerBlock& block, const Tensor& x) {
+  Tensor y = conv.forward(block, x);
+  double acc = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    acc += 0.5 * static_cast<double>(y.data()[i]) * y.data()[i];
+  }
+  return acc;
+}
+
+/// Runs forward + backward under the objective and checks both the input
+/// gradient and every parameter gradient numerically.
+void check_gradients(const std::function<std::unique_ptr<Conv>()>& make_conv,
+                     const LayerBlock& block, std::uint32_t in_dim,
+                     float tol = 2e-2f) {
+  auto conv = make_conv();
+  Rng rng(99);
+  Tensor x = Tensor::uniform(block.num_src, in_dim, rng, 1.0f);
+
+  Tensor y = conv->forward(block, x);
+  Tensor gy = y;  // d(sum 0.5 y^2)/dy == y
+  Tensor gx = conv->backward(block, gy);
+
+  const float eps = 1e-2f;
+
+  // Input gradient.
+  for (std::uint32_t i = 0; i < std::min(block.num_src, 6u); ++i) {
+    for (std::uint32_t j = 0; j < std::min(in_dim, 5u); ++j) {
+      Tensor xp = x;
+      Tensor xm = x;
+      xp.at(i, j) += eps;
+      xm.at(i, j) -= eps;
+      const double numeric =
+          (objective(*conv, block, xp) - objective(*conv, block, xm)) /
+          (2 * eps);
+      EXPECT_NEAR(gx.at(i, j), numeric, tol)
+          << "input grad at " << i << "," << j;
+    }
+  }
+
+  // Parameter gradients: probe a few entries of each parameter.
+  std::vector<Param*> params;
+  conv->collect_params(params);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Param& param = *params[p];
+    const std::size_t n = param.value.size();
+    for (std::size_t probe = 0; probe < std::min<std::size_t>(n, 6);
+         ++probe) {
+      const std::size_t idx = (probe * 131) % n;
+      const float saved = param.value.data()[idx];
+      param.value.data()[idx] = saved + eps;
+      const double fp = objective(*conv, block, x);
+      param.value.data()[idx] = saved - eps;
+      const double fm = objective(*conv, block, x);
+      param.value.data()[idx] = saved;
+      const double numeric = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(param.grad.data()[idx], numeric, tol)
+          << "param " << p << " flat " << idx;
+    }
+  }
+}
+
+TEST(SageConv, GradientsNumerical) {
+  const LayerBlock block = random_block(5, 11, 4, 42);
+  check_gradients(
+      [] {
+        Rng rng(7);
+        return std::make_unique<SageConv>(6, 4, rng);
+      },
+      block, 6);
+}
+
+TEST(SageConv, ZeroDegreeDstUsesSelfOnly) {
+  LayerBlock block;
+  block.num_dst = 2;
+  block.num_src = 3;
+  block.edge_src = {2};
+  block.edge_dst = {0};  // dst 1 has no in-edges
+  Rng rng(7);
+  SageConv conv(3, 2, rng);
+  Tensor x = Tensor::uniform(3, 3, rng, 1.0f);
+  Tensor y = conv.forward(block, x);
+  EXPECT_EQ(y.rows(), 2u);
+  // Output for dst 1 must be finite (self path + bias only).
+  for (std::uint32_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(std::isfinite(y.at(1, j)));
+  }
+}
+
+TEST(GcnConv, GradientsNumerical) {
+  const LayerBlock block = random_block(6, 10, 3, 43);
+  check_gradients(
+      [] {
+        Rng rng(17);
+        return std::make_unique<GcnConv>(5, 3, rng);
+      },
+      block, 5);
+}
+
+TEST(GcnConv, NormalizationIncludesSelf) {
+  // Single dst with one in-edge: agg = (x_self + x_src) / 2.
+  LayerBlock block;
+  block.num_dst = 1;
+  block.num_src = 2;
+  block.edge_src = {1};
+  block.edge_dst = {0};
+  Rng rng(3);
+  GcnConv conv(2, 2, rng);
+  Tensor x(2, 2);
+  x.at(0, 0) = 2;
+  x.at(1, 0) = 4;
+  // With identity-ish probing: compare against manual aggregation through
+  // the layer's own weight.
+  Tensor y = conv.forward(block, x);
+  // agg row = ((2+4)/2, 0) = (3, 0); y = agg * W + b.
+  std::vector<Param*> params;
+  conv.collect_params(params);
+  const Tensor& w = params[0]->value;
+  EXPECT_NEAR(y.at(0, 0), 3 * w.at(0, 0), 1e-5);
+  EXPECT_NEAR(y.at(0, 1), 3 * w.at(0, 1), 1e-5);
+}
+
+TEST(GatConv, GradientsNumericalSingleHead) {
+  const LayerBlock block = random_block(4, 9, 3, 44);
+  check_gradients(
+      [] {
+        Rng rng(27);
+        return std::make_unique<GatConv>(5, 4, /*heads=*/1, rng);
+      },
+      block, 5, /*tol=*/3e-2f);
+}
+
+TEST(GatConv, GradientsNumericalMultiHead) {
+  const LayerBlock block = random_block(4, 8, 3, 45);
+  check_gradients(
+      [] {
+        Rng rng(37);
+        return std::make_unique<GatConv>(6, 4, /*heads=*/2, rng);
+      },
+      block, 6, /*tol=*/3e-2f);
+}
+
+TEST(GatConv, AttentionWeightsSumToOne) {
+  // Probe via a uniform-feature graph: output of a dst equals z (convex
+  // combination of identical z rows).
+  LayerBlock block;
+  block.num_dst = 1;
+  block.num_src = 4;
+  block.edge_src = {1, 2, 3};
+  block.edge_dst = {0, 0, 0};
+  Rng rng(5);
+  GatConv conv(3, 4, 2, rng);
+  Tensor x(4, 3);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) x.at(i, j) = 0.5f;
+  }
+  Tensor y = conv.forward(block, x);
+  // All z rows identical => y == z row + bias; recompute z manually.
+  std::vector<Param*> params;
+  conv.collect_params(params);
+  const Tensor& w = params[0]->value;
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    float z = 0;
+    for (std::uint32_t k = 0; k < 3; ++k) z += 0.5f * w.at(k, j);
+    EXPECT_NEAR(y.at(0, j), z, 1e-4);
+  }
+}
+
+TEST(GatConv, RejectsUngroupedEdges) {
+  LayerBlock block;
+  block.num_dst = 2;
+  block.num_src = 3;
+  block.edge_src = {1, 2};
+  block.edge_dst = {1, 0};  // not grouped by dst
+  Rng rng(5);
+  GatConv conv(3, 3, 1, rng);
+  Tensor x(3, 3);
+  EXPECT_DEATH(conv.forward(block, x), "grouped by dst");
+}
+
+TEST(AllConvs, FlopsPositiveAndScaleWithEdges) {
+  Rng rng(1);
+  const LayerBlock small = random_block(4, 8, 2, 50);
+  const LayerBlock large = random_block(40, 80, 8, 51);
+  SageConv sage(8, 8, rng);
+  GcnConv gcn(8, 8, rng);
+  GatConv gat(8, 8, 2, rng);
+  for (Conv* conv : std::initializer_list<Conv*>{&sage, &gcn, &gat}) {
+    EXPECT_GT(conv->flops(small), 0u);
+    EXPECT_GT(conv->flops(large), conv->flops(small));
+  }
+}
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,47 @@
+// Logger level handling and helpers in util/common.
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+#include "util/logging.hpp"
+
+namespace gnndrive {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  GD_LOG_DEBUG("debug line %d (expected in test output)", 1);
+  set_log_level(LogLevel::kError);
+  GD_LOG_WARN("suppressed line %d (should NOT appear)", 2);
+  set_log_level(saved);
+}
+
+TEST(Rounding, UpDownCeil) {
+  EXPECT_EQ(round_up(0, 512), 0u);
+  EXPECT_EQ(round_up(1, 512), 512u);
+  EXPECT_EQ(round_up(512, 512), 512u);
+  EXPECT_EQ(round_up(513, 512), 1024u);
+  EXPECT_EQ(round_down(1023, 512), 512u);
+  EXPECT_EQ(round_down(512, 512), 512u);
+  EXPECT_EQ(div_ceil(10, 3), 4u);
+  EXPECT_EQ(div_ceil(9, 3), 3u);
+  EXPECT_EQ(div_ceil(1, 100), 1u);
+}
+
+TEST(Durations, Conversions) {
+  const Duration d = from_us(1500.0);
+  EXPECT_NEAR(to_seconds(d), 1.5e-3, 1e-9);
+  EXPECT_NEAR(to_ms(d), 1.5, 1e-6);
+}
+
+TEST(SimOom, CarriesMessage) {
+  try {
+    throw SimOutOfMemory("device OOM allocating 42 bytes");
+  } catch (const SimOutOfMemory& e) {
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gnndrive

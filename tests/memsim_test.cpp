@@ -1,0 +1,193 @@
+// Host-memory budget, page cache and mmap emulation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "memsim/host_memory.hpp"
+#include "memsim/mmap_region.hpp"
+#include "memsim/page_cache.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+namespace {
+
+std::shared_ptr<MemBackend> make_image(std::uint64_t size) {
+  auto backend = std::make_shared<MemBackend>(size);
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    backend->raw()[i] = static_cast<std::uint8_t>(rng());
+  }
+  return backend;
+}
+
+SsdConfig quick_cfg() {
+  SsdConfig cfg;
+  cfg.read_latency_us = 30.0;
+  cfg.channels = 8;
+  return cfg;
+}
+
+TEST(HostMemory, PinUnpinAccounting) {
+  HostMemory mem(1000);
+  mem.pin(400, "a");
+  EXPECT_EQ(mem.pinned(), 400u);
+  EXPECT_EQ(mem.available(), 600u);
+  mem.pin(600, "b");
+  EXPECT_EQ(mem.available(), 0u);
+  mem.unpin(400);
+  EXPECT_EQ(mem.pinned(), 600u);
+  EXPECT_EQ(mem.peak_pinned(), 1000u);
+}
+
+TEST(HostMemory, OverCommitThrowsSimOOM) {
+  HostMemory mem(1000);
+  mem.pin(800, "a");
+  EXPECT_THROW(mem.pin(300, "b"), SimOutOfMemory);
+  EXPECT_EQ(mem.pinned(), 800u);  // failed pin left no residue
+}
+
+TEST(PinnedBytes, RaiiReleases) {
+  HostMemory mem(1000);
+  {
+    PinnedBytes pin(mem, 500, "scoped");
+    EXPECT_EQ(mem.pinned(), 500u);
+  }
+  EXPECT_EQ(mem.pinned(), 0u);
+}
+
+TEST(PinnedBytes, MoveTransfersOwnership) {
+  HostMemory mem(1000);
+  PinnedBytes a(mem, 300, "a");
+  PinnedBytes b = std::move(a);
+  EXPECT_EQ(b.bytes(), 300u);
+  EXPECT_EQ(a.bytes(), 0u);
+  EXPECT_EQ(mem.pinned(), 300u);
+}
+
+TEST(PageCache, MissThenHit) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(32 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+
+  std::uint8_t buf[100];
+  cache.read(kPageSize + 10, 100, buf);
+  EXPECT_EQ(std::memcmp(buf, image->raw() + kPageSize + 10, 100), 0);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  cache.read(kPageSize + 500, 100, buf);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PageCache, CapacityTracksAvailableMemory) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(10 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  EXPECT_EQ(cache.capacity_pages(), 10u);
+  PinnedBytes pin(mem, 4 * kPageSize, "squeeze");
+  EXPECT_EQ(cache.capacity_pages(), 6u);
+}
+
+TEST(PageCache, LruEviction) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(4 * kPageSize);  // room for 4 pages
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  std::uint8_t buf[8];
+  for (std::uint64_t p = 0; p < 4; ++p) cache.read(p * kPageSize, 8, buf);
+  EXPECT_EQ(cache.resident_pages(), 4u);
+  // Touch page 0 so page 1 becomes LRU, then fault page 4.
+  cache.read(0, 8, buf);
+  cache.read(4 * kPageSize, 8, buf);
+  EXPECT_TRUE(cache.contains_page(0));
+  EXPECT_FALSE(cache.contains_page(1));
+  EXPECT_TRUE(cache.contains_page(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PageCache, ShrinkingBudgetEvictsOnNextAccess) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(8 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  std::uint8_t buf[8];
+  for (std::uint64_t p = 0; p < 8; ++p) cache.read(p * kPageSize, 8, buf);
+  EXPECT_EQ(cache.resident_pages(), 8u);
+  PinnedBytes pin(mem, 6 * kPageSize, "squeeze");
+  cache.read(9 * kPageSize, 8, buf);  // triggers eviction to new capacity
+  EXPECT_LE(cache.resident_pages(), 2u);
+}
+
+TEST(PageCache, TryReadResidentOnlyHitsCached) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(16 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  std::uint8_t buf[64];
+  EXPECT_FALSE(cache.try_read_resident(0, 64, buf));
+  cache.prefetch(0, kPageSize);
+  EXPECT_TRUE(cache.try_read_resident(0, 64, buf));
+  EXPECT_EQ(std::memcmp(buf, image->raw(), 64), 0);
+}
+
+TEST(PageCache, NoteResidentSkipsDeviceCharge) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(16 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  cache.note_resident(2 * kPageSize, kPageSize);
+  EXPECT_TRUE(cache.contains_page(2));
+  EXPECT_EQ(ssd.stats().reads, 0u);
+}
+
+TEST(PageCache, ConcurrentFaultsCoalesce) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(32 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      std::uint8_t buf[16];
+      cache.read(5 * kPageSize, 16, buf);
+      EXPECT_EQ(std::memcmp(buf, image->raw() + 5 * kPageSize, 16), 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All 8 threads faulted the same page; only one device read happened.
+  EXPECT_EQ(ssd.stats().reads, 1u);
+}
+
+TEST(MmapRegion, TypedReads) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(32 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  // Write known int64 values into the image.
+  auto* vals = reinterpret_cast<std::int64_t*>(image->raw() + 2048);
+  for (int i = 0; i < 16; ++i) vals[i] = 1000 + i;
+  MmapRegion region(cache, 2048, 16 * 8);
+  EXPECT_EQ(region.read_at<std::int64_t>(5), 1005);
+  std::int64_t out[4];
+  region.read_array<std::int64_t>(8, 4, out);
+  EXPECT_EQ(out[0], 1008);
+  EXPECT_EQ(out[3], 1011);
+}
+
+TEST(MmapRegion, WarmMakesResident) {
+  auto image = make_image(64 * kPageSize);
+  HostMemory mem(32 * kPageSize);
+  SsdDevice ssd(quick_cfg(), image);
+  PageCache cache(mem, ssd);
+  MmapRegion region(cache, 0, 8 * kPageSize);
+  region.warm();
+  EXPECT_EQ(cache.resident_pages(), 8u);
+}
+
+}  // namespace
+}  // namespace gnndrive

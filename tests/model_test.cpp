@@ -1,0 +1,178 @@
+// Model-level training behaviour: loss decreases, Adam updates, replica
+// utilities, activation/flop accounting.
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+#include "sampling/sampler.hpp"
+
+namespace gnndrive {
+namespace {
+
+struct ModelFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset = new Dataset(Dataset::build(toy_spec(16)));
+  }
+  static void TearDownTestSuite() {
+    delete dataset;
+    dataset = nullptr;
+  }
+  static Dataset* dataset;
+
+  ModelConfig config(ModelKind kind) const {
+    ModelConfig mc;
+    mc.kind = kind;
+    mc.in_dim = dataset->spec().feature_dim;
+    mc.hidden_dim = 16;
+    mc.num_classes = dataset->spec().num_classes;
+    return mc;
+  }
+
+  /// Trains `steps` batches directly (no pipeline) and returns first/last
+  /// loss.
+  std::pair<double, double> train_direct(ModelKind kind, int steps) {
+    GnnModel model(config(kind));
+    Adam adam;
+    DirectTopology topo(*dataset);
+    SamplerConfig sc;
+    sc.fanouts = {5, 5, 5};
+    NeighborSampler sampler(sc);
+    auto batches = make_minibatches(dataset->train_nodes(), 32, 1);
+    double first = 0;
+    double last = 0;
+    for (int s = 0; s < steps; ++s) {
+      const auto& seeds = batches[s % batches.size()];
+      SampledBatch b = sampler.sample(s, seeds, topo, &dataset->labels());
+      Tensor x0 = gather_features_direct(*dataset, b);
+      const TrainStats ts = model.train_batch(b, x0);
+      adam.step(model.params());
+      adam.zero_grad(model.params());
+      if (s == 0) first = ts.loss;
+      last = ts.loss;
+    }
+    return {first, last};
+  }
+};
+Dataset* ModelFixture::dataset = nullptr;
+
+TEST_F(ModelFixture, SageLossDecreases) {
+  auto [first, last] = train_direct(ModelKind::kSage, 100);
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST_F(ModelFixture, GcnLossDecreases) {
+  auto [first, last] = train_direct(ModelKind::kGcn, 100);
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST_F(ModelFixture, GatLossDecreases) {
+  auto [first, last] = train_direct(ModelKind::kGat, 100);
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST_F(ModelFixture, EvaluationImprovesWithTraining) {
+  GnnModel model(config(ModelKind::kSage));
+  SamplerConfig sc;
+  sc.fanouts = {5, 5, 5};
+  const double before = evaluate_accuracy(model, *dataset, sc);
+  Adam adam;
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler(sc);
+  auto batches = make_minibatches(dataset->train_nodes(), 32, 1);
+  for (int s = 0; s < 60; ++s) {
+    SampledBatch b =
+        sampler.sample(s, batches[s % batches.size()], topo,
+                       &dataset->labels());
+    Tensor x0 = gather_features_direct(*dataset, b);
+    model.train_batch(b, x0);
+    adam.step(model.params());
+    adam.zero_grad(model.params());
+  }
+  const double after = evaluate_accuracy(model, *dataset, sc);
+  EXPECT_GT(after, before + 0.2);
+}
+
+TEST_F(ModelFixture, ForwardDeterministicGivenParams) {
+  GnnModel a(config(ModelKind::kSage));
+  GnnModel b(config(ModelKind::kSage));
+  b.copy_params_from(a);
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{4, 4, 4}, 3});
+  SampledBatch batch = sampler.sample(
+      5, {dataset->train_nodes().begin(), dataset->train_nodes().begin() + 8},
+      topo, &dataset->labels());
+  Tensor x0 = gather_features_direct(*dataset, batch);
+  Tensor ya = a.forward(batch, x0);
+  Tensor yb = b.forward(batch, x0);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST_F(ModelFixture, AverageGradsEqualizesReplicas) {
+  GnnModel a(config(ModelKind::kGcn));
+  GnnModel b(config(ModelKind::kGcn));
+  b.copy_params_from(a);
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{4, 4, 4}, 3});
+  const auto& train = dataset->train_nodes();
+  SampledBatch ba = sampler.sample(1, {train.begin(), train.begin() + 8},
+                                   topo, &dataset->labels());
+  SampledBatch bb = sampler.sample(2, {train.begin() + 8, train.begin() + 16},
+                                   topo, &dataset->labels());
+  a.train_batch(ba, gather_features_direct(*dataset, ba));
+  b.train_batch(bb, gather_features_direct(*dataset, bb));
+  GnnModel::average_grads({&a, &b});
+  for (std::size_t p = 0; p < a.params().size(); ++p) {
+    const Tensor& ga = a.params()[p]->grad;
+    const Tensor& gb = b.params()[p]->grad;
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      ASSERT_FLOAT_EQ(ga.data()[i], gb.data()[i]);
+    }
+  }
+}
+
+TEST_F(ModelFixture, AccountingEstimatesPositive) {
+  GnnModel model(config(ModelKind::kGat));
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{5, 5, 5}, 3});
+  SampledBatch b = sampler.sample(
+      9, {dataset->train_nodes().begin(), dataset->train_nodes().begin() + 8},
+      topo, &dataset->labels());
+  EXPECT_GT(model.param_state_bytes(), 0u);
+  EXPECT_GT(model.activation_bytes(b), 0u);
+  EXPECT_GT(model.flops(b), 0u);
+}
+
+TEST_F(ModelFixture, CpuSlowdownOrderedByModelCost) {
+  ModelConfig sage = config(ModelKind::kSage);
+  ModelConfig gcn = config(ModelKind::kGcn);
+  ModelConfig gat = config(ModelKind::kGat);
+  EXPECT_LT(sage.cpu_slowdown(), gcn.cpu_slowdown());
+  EXPECT_LT(gcn.cpu_slowdown(), gat.cpu_slowdown());
+}
+
+TEST(ModelKindNames, RoundTrip) {
+  EXPECT_EQ(model_kind_from_name("sage"), ModelKind::kSage);
+  EXPECT_EQ(model_kind_from_name("GCN"), ModelKind::kGcn);
+  EXPECT_EQ(model_kind_from_name("gat"), ModelKind::kGat);
+  EXPECT_STREQ(model_kind_name(ModelKind::kSage), "GraphSAGE");
+}
+
+TEST(Adam, StepMovesParamsAgainstGradient) {
+  Param p(Tensor::zeros(2, 2));
+  p.grad.fill(1.0f);
+  Adam adam(AdamConfig{.lr = 0.1f});
+  adam.step({&p});
+  for (std::size_t i = 0; i < p.value.size(); ++i) {
+    EXPECT_LT(p.value.data()[i], 0.0f);
+  }
+  adam.zero_grad({&p});
+  for (std::size_t i = 0; i < p.grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(p.grad.data()[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gnndrive

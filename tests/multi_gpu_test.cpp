@@ -1,0 +1,96 @@
+// Multi-GPU data parallelism: replica lock-step, gradient equivalence,
+// batch coverage and epoch aggregation.
+#include <gtest/gtest.h>
+
+#include "core/multi_gpu.hpp"
+
+namespace gnndrive {
+namespace {
+
+struct MultiGpuFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset = new Dataset(Dataset::build(toy_spec(64)));
+  }
+  static void TearDownTestSuite() {
+    delete dataset;
+    dataset = nullptr;
+  }
+  static Dataset* dataset;
+
+  struct Env {
+    std::unique_ptr<SsdDevice> ssd;
+    std::unique_ptr<HostMemory> mem;
+    std::unique_ptr<PageCache> cache;
+    RunContext ctx;
+  };
+  Env make_env() {
+    Env env;
+    SsdConfig ssd_cfg;
+    ssd_cfg.read_latency_us = 10.0;
+    env.ssd = dataset->make_device(ssd_cfg);
+    env.mem = std::make_unique<HostMemory>(256ull << 20);
+    env.cache = std::make_unique<PageCache>(*env.mem, *env.ssd);
+    env.ctx = RunContext{dataset, env.ssd.get(), env.mem.get(),
+                         env.cache.get(), nullptr};
+    return env;
+  }
+
+  MultiGpuConfig config(std::uint32_t replicas) {
+    MultiGpuConfig cfg;
+    cfg.replica.common.model.kind = ModelKind::kSage;
+    cfg.replica.common.model.hidden_dim = 16;
+    cfg.replica.common.sampler.fanouts = {4, 4, 4};
+    cfg.replica.common.batch_seeds = 16;
+    cfg.num_replicas = replicas;
+    return cfg;
+  }
+};
+Dataset* MultiGpuFixture::dataset = nullptr;
+
+TEST_F(MultiGpuFixture, TwoReplicasTrainAndConverge) {
+  auto env = make_env();
+  MultiGpuGnnDrive system(env.ctx, config(2));
+  const EpochStats first = system.run_epoch(0);
+  EXPECT_GT(first.batches, 0u);
+  EpochStats last{};
+  for (int e = 1; e < 4; ++e) last = system.run_epoch(e);
+  EXPECT_LT(last.loss, first.loss);
+  EXPECT_GT(system.evaluate(), 0.4);
+}
+
+TEST_F(MultiGpuFixture, ReplicasStayInLockStep) {
+  auto env = make_env();
+  MultiGpuGnnDrive system(env.ctx, config(2));
+  system.run_epoch(0);
+  // Per-step gradient averaging from identical init keeps parameters
+  // bitwise identical across replicas.
+  auto& m0 = system.replica(0).model();
+  auto& m1 = system.replica(1).model();
+  for (std::size_t p = 0; p < m0.params().size(); ++p) {
+    const Tensor& a = m0.params()[p]->value;
+    const Tensor& b = m1.params()[p]->value;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a.data()[i], b.data()[i]) << "param " << p << " idx " << i;
+    }
+  }
+}
+
+TEST_F(MultiGpuFixture, BatchCountsEqualAcrossReplicas) {
+  auto env = make_env();
+  MultiGpuGnnDrive system(env.ctx, config(3));
+  const EpochStats stats = system.run_epoch(0);
+  // Aggregated count is replicas x equal per-replica count.
+  EXPECT_EQ(stats.batches % 3, 0u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+TEST_F(MultiGpuFixture, SingleReplicaMatchesPlainPipeline) {
+  auto env = make_env();
+  MultiGpuGnnDrive system(env.ctx, config(1));
+  const EpochStats stats = system.run_epoch(0);
+  const std::size_t expected = div_ceil(dataset->train_nodes().size(), 16);
+  EXPECT_EQ(stats.batches, expected);
+}
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,160 @@
+// Property-style randomized tests: the simulated page cache against a
+// reference LRU model, direct-vs-buffered data equivalence, and Ginex's
+// Belady plan under forced eviction pressure.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "aio/io_ring.hpp"
+#include "baselines/ginex.hpp"
+#include "memsim/page_cache.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+namespace {
+
+// ---- Page cache vs reference LRU model over random accesses. ------------
+struct PageCacheModelParams {
+  std::uint64_t capacity_pages;
+  std::uint64_t file_pages;
+  std::uint64_t seed;
+};
+
+struct PageCacheModel : ::testing::TestWithParam<PageCacheModelParams> {};
+
+TEST_P(PageCacheModel, MatchesReferenceLru) {
+  const auto p = GetParam();
+  auto image = std::make_shared<MemBackend>(p.file_pages * kPageSize);
+  SsdConfig cfg;
+  cfg.read_latency_us = 1.0;  // fast: the test is about state, not time
+  SsdDevice ssd(cfg, image);
+  HostMemory mem(p.capacity_pages * kPageSize);
+  PageCache cache(mem, ssd);
+
+  // Reference: list front = LRU.
+  std::list<std::uint64_t> ref_lru;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> ref;
+  std::uint64_t ref_misses = 0;
+
+  Rng rng(p.seed);
+  std::uint8_t buf[8];
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t page = rng.next_below(p.file_pages);
+    cache.read(page * kPageSize, 8, buf);
+    auto it = ref.find(page);
+    if (it != ref.end()) {
+      ref_lru.splice(ref_lru.end(), ref_lru, it->second);
+    } else {
+      ++ref_misses;
+      if (ref.size() >= p.capacity_pages) {
+        ref.erase(ref_lru.front());
+        ref_lru.pop_front();
+      }
+      ref[page] = ref_lru.insert(ref_lru.end(), page);
+    }
+    if (step % 97 == 0) {
+      // Residency must match the reference exactly.
+      ASSERT_EQ(cache.resident_pages(), ref.size());
+      for (const auto& [rp, _] : ref) {
+        ASSERT_TRUE(cache.contains_page(rp)) << "page " << rp;
+      }
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, ref_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PageCacheModel,
+    ::testing::Values(PageCacheModelParams{4, 16, 1},
+                      PageCacheModelParams{16, 64, 2},
+                      PageCacheModelParams{64, 64, 3},   // everything fits
+                      PageCacheModelParams{8, 256, 4},   // heavy thrash
+                      PageCacheModelParams{1, 32, 5}));  // degenerate
+
+// ---- Direct and buffered rings deliver identical bytes. ------------------
+struct IoPathEquivalence : ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IoPathEquivalence, SameBytesEitherPath) {
+  const std::uint32_t len = GetParam();
+  auto image = std::make_shared<MemBackend>(1 << 20);
+  Rng rng(31);
+  for (std::uint64_t i = 0; i < image->size(); ++i) {
+    image->raw()[i] = static_cast<std::uint8_t>(rng());
+  }
+  SsdConfig cfg;
+  cfg.read_latency_us = 1.0;
+  SsdDevice ssd(cfg, image);
+  HostMemory mem(64 * kPageSize);
+  PageCache cache(mem, ssd);
+
+  IoRing direct(ssd, {.queue_depth = 8, .direct = true});
+  IoRing buffered(ssd, {.queue_depth = 8, .direct = false}, &cache);
+
+  std::vector<std::uint8_t> a(len);
+  std::vector<std::uint8_t> b(len);
+  for (std::uint64_t off : {std::uint64_t{0}, std::uint64_t{512 * 13}}) {
+    direct.prep_read(off, len, a.data(), 0);
+    direct.submit();
+    ASSERT_GE(direct.wait_cqe().res, 0);
+    buffered.prep_read(off, len, b.data(), 0);
+    buffered.submit();
+    ASSERT_GE(buffered.wait_cqe().res, 0);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(std::memcmp(a.data(), image->raw() + off, len), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, IoPathEquivalence,
+                         ::testing::Values(512u, 1024u, 4096u, 65536u));
+
+// ---- Ginex under severe cache pressure: the Belady plan must still cover
+// every trained node (internal GD_CHECK) and training must proceed. -------
+struct GinexPressure : ::testing::TestWithParam<double> {};
+
+TEST_P(GinexPressure, TinyFeatureCacheStillTrains) {
+  static Dataset dataset = Dataset::build(toy_spec(128));
+  SsdConfig ssd_cfg;
+  ssd_cfg.read_latency_us = 5.0;
+  auto ssd = dataset.make_device(ssd_cfg);
+  HostMemory mem(64ull << 20);
+  PageCache cache(mem, *ssd);
+  RunContext ctx{&dataset, ssd.get(), &mem, &cache, nullptr};
+
+  GinexConfig cfg;
+  cfg.common.model.kind = ModelKind::kSage;
+  cfg.common.model.hidden_dim = 8;
+  cfg.common.sampler.fanouts = {5, 5};
+  cfg.common.batch_seeds = 16;
+  cfg.feature_cache_frac = GetParam();  // down to ~1.5k rows
+  cfg.superbatch = 6;
+  Ginex system(ctx, cfg);
+  const EpochStats stats = system.run_epoch(0);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.loss, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheFractions, GinexPressure,
+                         ::testing::Values(0.66, 0.2, 0.05, 0.012));
+
+// ---- SSD service-time model is monotone in length and ordered by op. ----
+struct SsdServiceSweep : ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SsdServiceSweep, MonotoneInLength) {
+  SsdConfig cfg;
+  cfg.channels = GetParam();
+  auto image = std::make_shared<MemBackend>(4096);
+  SsdDevice ssd(cfg, image);
+  Duration prev{};
+  for (std::uint32_t len = 512; len <= 1 << 20; len *= 4) {
+    const Duration t = ssd.service_time(SsdDevice::Op::kRead, len);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, SsdServiceSweep,
+                         ::testing::Values(1u, 4u, 16u, 64u));
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,234 @@
+// Neighbor sampler and topology readers, including parameterized sweeps
+// over fanouts and batch sizes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "core/evaluate.hpp"
+#include "graph/dataset.hpp"
+#include "sampling/sampler.hpp"
+#include "sampling/topology.hpp"
+
+namespace gnndrive {
+namespace {
+
+struct SamplingFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset = new Dataset(Dataset::build(toy_spec(), /*keep_graph=*/true));
+  }
+  static void TearDownTestSuite() {
+    delete dataset;
+    dataset = nullptr;
+  }
+  static Dataset* dataset;
+};
+Dataset* SamplingFixture::dataset = nullptr;
+
+std::vector<NodeId> first_seeds(std::uint32_t n) {
+  const auto& train = SamplingFixture::dataset->train_nodes();
+  return {train.begin(), train.begin() + n};
+}
+
+TEST_F(SamplingFixture, SeedsArePrefixOfNodes) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{5, 5}, 1});
+  const auto seeds = first_seeds(8);
+  SampledBatch b = sampler.sample(1, seeds, topo, &dataset->labels());
+  ASSERT_EQ(b.num_seeds, 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(b.nodes[i], seeds[i]);
+}
+
+TEST_F(SamplingFixture, NodesAreUnique) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{10, 10, 10}, 1});
+  SampledBatch b = sampler.sample(3, first_seeds(8), topo, nullptr);
+  std::unordered_set<NodeId> uniq(b.nodes.begin(), b.nodes.end());
+  EXPECT_EQ(uniq.size(), b.nodes.size());
+}
+
+TEST_F(SamplingFixture, BlockStructureInvariants) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{4, 3, 2}, 1});
+  SampledBatch b = sampler.sample(5, first_seeds(6), topo, nullptr);
+  ASSERT_EQ(b.blocks.size(), 3u);
+  EXPECT_EQ(b.blocks[0].num_dst, b.num_seeds);
+  std::uint32_t prev_src = b.num_seeds;
+  for (const auto& blk : b.blocks) {
+    EXPECT_EQ(blk.num_dst, prev_src);        // frontier chaining
+    EXPECT_GE(blk.num_src, blk.num_dst);     // dst is a prefix of src
+    for (std::size_t e = 0; e < blk.num_edges(); ++e) {
+      EXPECT_LT(blk.edge_src[e], blk.num_src);
+      EXPECT_LT(blk.edge_dst[e], blk.num_dst);
+      if (e > 0) EXPECT_GE(blk.edge_dst[e], blk.edge_dst[e - 1]);  // grouped
+    }
+    prev_src = blk.num_src;
+  }
+  EXPECT_EQ(prev_src, b.nodes.size());
+}
+
+TEST_F(SamplingFixture, FanoutBoundsRespected) {
+  DirectTopology topo(*dataset);
+  const std::uint32_t fanout = 4;
+  NeighborSampler sampler({{fanout}, 1});
+  SampledBatch b = sampler.sample(9, first_seeds(16), topo, nullptr);
+  std::vector<std::uint32_t> per_dst(b.blocks[0].num_dst, 0);
+  for (std::uint32_t d : b.blocks[0].edge_dst) ++per_dst[d];
+  for (std::uint32_t d = 0; d < b.blocks[0].num_dst; ++d) {
+    const std::uint64_t deg = dataset->in_degree(b.nodes[d]);
+    EXPECT_EQ(per_dst[d], std::min<std::uint64_t>(deg, fanout));
+  }
+}
+
+TEST_F(SamplingFixture, SampledNeighborsAreRealAndDistinct) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{6}, 1});
+  SampledBatch b = sampler.sample(11, first_seeds(12), topo, nullptr);
+  const auto& blk = b.blocks[0];
+  std::size_t e = 0;
+  for (std::uint32_t d = 0; d < blk.num_dst; ++d) {
+    const auto truth = dataset->read_neighbors(b.nodes[d]);
+    const std::set<NodeId> truth_set(truth.begin(), truth.end());
+    std::set<NodeId> picked;
+    while (e < blk.num_edges() && blk.edge_dst[e] == d) {
+      const NodeId nb = b.nodes[blk.edge_src[e]];
+      EXPECT_TRUE(truth_set.count(nb) != 0) << "edge to non-neighbor";
+      picked.insert(nb);
+      ++e;
+    }
+    // Distinct positions; duplicates only possible via multi-edges.
+    EXPECT_LE(picked.size(), truth_set.size());
+  }
+}
+
+TEST_F(SamplingFixture, DeterministicPerBatchId) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{10, 10}, 99});
+  SampledBatch a = sampler.sample(7, first_seeds(8), topo, nullptr);
+  SampledBatch b = sampler.sample(7, first_seeds(8), topo, nullptr);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.blocks[1].edge_src, b.blocks[1].edge_src);
+  SampledBatch c = sampler.sample(8, first_seeds(8), topo, nullptr);
+  EXPECT_NE(a.nodes, c.nodes);
+}
+
+TEST_F(SamplingFixture, LabelsMatchSeeds) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{3}, 1});
+  SampledBatch b = sampler.sample(2, first_seeds(10), topo,
+                                  &dataset->labels());
+  ASSERT_EQ(b.labels.size(), b.num_seeds);
+  for (std::uint32_t i = 0; i < b.num_seeds; ++i) {
+    EXPECT_EQ(b.labels[i], dataset->labels()[b.nodes[i]]);
+  }
+}
+
+TEST_F(SamplingFixture, TopologyReadersAgree) {
+  // Mmap (page-cache), in-memory, cached and direct readers must produce
+  // identical samples for the same seed.
+  HostMemory mem(64 << 20);
+  SsdConfig ssd_cfg;
+  ssd_cfg.read_latency_us = 5.0;
+  auto ssd = dataset->make_device(ssd_cfg);
+  PageCache cache(mem, *ssd);
+
+  MmapTopology mmap_topo(*dataset, cache);
+  InMemTopology mem_topo(*dataset->csc());
+  CachedTopology cached_topo(*dataset, cache, 1 << 20);
+  DirectTopology direct_topo(*dataset);
+
+  NeighborSampler sampler({{8, 4}, 5});
+  const auto seeds = first_seeds(6);
+  SampledBatch a = sampler.sample(13, seeds, mmap_topo, nullptr);
+  SampledBatch b = sampler.sample(13, seeds, mem_topo, nullptr);
+  SampledBatch c = sampler.sample(13, seeds, cached_topo, nullptr);
+  SampledBatch d = sampler.sample(13, seeds, direct_topo, nullptr);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.nodes, c.nodes);
+  EXPECT_EQ(a.nodes, d.nodes);
+  EXPECT_EQ(a.blocks[0].edge_src, c.blocks[0].edge_src);
+}
+
+TEST_F(SamplingFixture, CachedTopologyRespectsBudgetAndPrefersHotNodes) {
+  HostMemory mem(64 << 20);
+  SsdConfig ssd_cfg;
+  auto ssd = dataset->make_device(ssd_cfg);
+  PageCache cache(mem, *ssd);
+  const std::uint64_t budget = 100 * 1024;
+  CachedTopology topo(*dataset, cache, budget);
+  EXPECT_LE(topo.cached_bytes(), budget);
+  EXPECT_GT(topo.cached_nodes(), 0u);
+  // Hot node access should count as a hit.
+  NodeId hottest = 0;
+  for (NodeId v = 1; v < dataset->spec().num_nodes; ++v) {
+    if (dataset->in_degree(v) > dataset->in_degree(hottest)) hottest = v;
+  }
+  std::vector<NodeId> out;
+  topo.neighbors(hottest, out);
+  EXPECT_EQ(topo.hits(), 1u);
+  EXPECT_EQ(out, dataset->read_neighbors(hottest));
+}
+
+TEST_F(SamplingFixture, MaxNodesPerBatchIsUpperBound) {
+  DirectTopology topo(*dataset);
+  NeighborSampler sampler({{10, 10, 10}, 1});
+  const std::uint64_t bound = sampler.max_nodes_per_batch(8);
+  EXPECT_EQ(bound, 8ull * 11 * 11 * 11);
+  SampledBatch b = sampler.sample(21, first_seeds(8), topo, nullptr);
+  EXPECT_LE(b.nodes.size(), bound);
+}
+
+TEST(MakeMinibatches, PartitionsAndShuffles) {
+  std::vector<NodeId> train(100);
+  std::iota(train.begin(), train.end(), 0u);
+  auto batches = make_minibatches(train, 32, 7);
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[3].size(), 4u);
+  std::set<NodeId> all;
+  for (const auto& b : batches) all.insert(b.begin(), b.end());
+  EXPECT_EQ(all.size(), 100u);  // every node exactly once
+  auto batches2 = make_minibatches(train, 32, 7);
+  EXPECT_EQ(batches[0], batches2[0]);  // deterministic per seed
+  auto batches3 = make_minibatches(train, 32, 8);
+  EXPECT_NE(batches[0], batches3[0]);
+}
+
+// ---- Parameterized sweep: structure invariants across fanouts and sizes.
+struct SamplerSweep
+    : ::testing::TestWithParam<std::tuple<std::vector<std::uint32_t>,
+                                          std::uint32_t>> {};
+
+TEST_P(SamplerSweep, StructureHolds) {
+  static Dataset ds = Dataset::build(toy_spec(8));
+  const auto& [fanouts, batch] = GetParam();
+  DirectTopology topo(ds);
+  NeighborSampler sampler({fanouts, 17});
+  std::vector<NodeId> seeds(ds.train_nodes().begin(),
+                            ds.train_nodes().begin() + batch);
+  SampledBatch b = sampler.sample(batch, seeds, topo, &ds.labels());
+  EXPECT_EQ(b.blocks.size(), fanouts.size());
+  std::unordered_set<NodeId> uniq(b.nodes.begin(), b.nodes.end());
+  EXPECT_EQ(uniq.size(), b.nodes.size());
+  std::uint32_t prev = b.num_seeds;
+  for (const auto& blk : b.blocks) {
+    EXPECT_EQ(blk.num_dst, prev);
+    EXPECT_GE(blk.num_src, blk.num_dst);
+    prev = blk.num_src;
+  }
+  EXPECT_LE(b.nodes.size(), sampler.max_nodes_per_batch(batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndBatches, SamplerSweep,
+    ::testing::Combine(
+        ::testing::Values(std::vector<std::uint32_t>{10, 10, 10},
+                          std::vector<std::uint32_t>{10, 10, 5},
+                          std::vector<std::uint32_t>{5, 5},
+                          std::vector<std::uint32_t>{1},
+                          std::vector<std::uint32_t>{25, 2, 2, 2}),
+        ::testing::Values(1u, 4u, 16u, 64u)));
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,26 @@
+// Build-level smoke test so the test binary links before the real suites
+// land; also exercises the RNG determinism everything else relies on.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gnndrive {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BoundedDraws) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gnndrive

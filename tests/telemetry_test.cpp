@@ -1,0 +1,97 @@
+// Telemetry details: BusyScope I/O-wait subtraction, thread-local wait
+// accounting, queue reopen, env knobs.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "memsim/page_cache.hpp"
+#include "storage/ssd.hpp"
+#include "util/env.hpp"
+#include "util/queue.hpp"
+#include "util/telemetry.hpp"
+
+namespace gnndrive {
+namespace {
+
+TEST(BusyScope, SubtractsIoWaitFromCpuBusy) {
+  Telemetry tel(50.0);
+  tel.start();
+  {
+    BusyScope busy(&tel);
+    // 10 ms of "compute" ...
+    const TimePoint until = Clock::now() + std::chrono::milliseconds(10);
+    while (Clock::now() < until) {
+    }
+    // ... and 30 ms blocked on I/O.
+    ScopedTrace io(&tel, TraceCat::kIoWait);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  const double cpu = tel.total_seconds(TraceCat::kCpuBusy);
+  const double io = tel.total_seconds(TraceCat::kIoWait);
+  EXPECT_NEAR(io, 0.030, 0.01);
+  EXPECT_NEAR(cpu, 0.010, 0.008);  // the 30 ms wait must NOT count as busy
+}
+
+TEST(BusyScope, NoTelemetryIsHarmless) {
+  BusyScope busy(nullptr);
+  ScopedTrace io(nullptr, TraceCat::kIoWait);
+}
+
+TEST(ThreadIoWait, AccumulatesPerThread) {
+  const double before = thread_io_wait_seconds();
+  {
+    ScopedTrace io(nullptr, TraceCat::kIoWait);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(thread_io_wait_seconds() - before, 0.004);
+
+  // A different thread has its own accumulator.
+  double other = -1;
+  std::thread t([&] { other = thread_io_wait_seconds(); });
+  t.join();
+  EXPECT_EQ(other, 0.0);
+}
+
+TEST(Telemetry, SyncDeviceReadCountsAsIoWaitViaPageCache) {
+  auto image = std::make_shared<MemBackend>(64 * kPageSize);
+  SsdConfig cfg;
+  cfg.read_latency_us = 2000.0;
+  SsdDevice ssd(cfg, image);
+  HostMemory mem(32 * kPageSize);
+  Telemetry tel(10.0);
+  tel.start();
+  PageCache cache(mem, ssd, &tel);
+  std::uint8_t buf[8];
+  cache.read(0, 8, buf);  // cold miss: ~2 ms modeled wait
+  EXPECT_GE(tel.total_seconds(TraceCat::kIoWait), 1.5e-3);
+}
+
+TEST(BoundedQueue, ReopenAfterClose) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+  q.reopen();
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(EnvKnobs, DefaultsAndParsing) {
+  ::unsetenv("GNNDRIVE_BENCH_MODE");
+  EXPECT_FALSE(bench_full_mode());
+  ::setenv("GNNDRIVE_BENCH_MODE", "full", 1);
+  EXPECT_TRUE(bench_full_mode());
+  ::unsetenv("GNNDRIVE_BENCH_MODE");
+
+  ::setenv("GD_TEST_KNOB", "17", 1);
+  EXPECT_EQ(env_long("GD_TEST_KNOB", 0), 17);
+  EXPECT_DOUBLE_EQ(env_double("GD_TEST_KNOB", 0.0), 17.0);
+  EXPECT_EQ(env_str("GD_TEST_KNOB", ""), "17");
+  ::unsetenv("GD_TEST_KNOB");
+  EXPECT_EQ(env_long("GD_TEST_KNOB", 5), 5);
+}
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,171 @@
+// Tensor kernels: gemm variants against naive references, activation and
+// loss gradients against numerical differentiation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/tensor.hpp"
+
+namespace gnndrive {
+namespace {
+
+Tensor random_tensor(std::uint32_t r, std::uint32_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform(r, c, rng, 1.0f);
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (std::uint32_t i = 0; i < a.rows(); ++i) {
+    for (std::uint32_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (std::uint32_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_near(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Tensor, GemmMatchesNaive) {
+  const Tensor a = random_tensor(7, 13, 1);
+  const Tensor b = random_tensor(13, 5, 2);
+  Tensor c(7, 5);
+  gemm(1.0f, a, b, 0.0f, c);
+  expect_near(c, naive_matmul(a, b));
+}
+
+TEST(Tensor, GemmAlphaBeta) {
+  const Tensor a = random_tensor(4, 6, 3);
+  const Tensor b = random_tensor(6, 3, 4);
+  Tensor c = random_tensor(4, 3, 5);
+  Tensor expected = c;
+  const Tensor ab = naive_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    expected.data()[i] = 2.0f * ab.data()[i] + 0.5f * c.data()[i];
+  }
+  gemm(2.0f, a, b, 0.5f, c);
+  expect_near(c, expected);
+}
+
+TEST(Tensor, GemmAtBMatchesNaive) {
+  const Tensor a = random_tensor(9, 4, 6);  // k x m
+  const Tensor b = random_tensor(9, 5, 7);  // k x n
+  Tensor c(4, 5);
+  gemm_at_b(1.0f, a, b, 0.0f, c);
+  // naive: c = a^T b
+  Tensor at(4, 9);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) at.at(j, i) = a.at(i, j);
+  }
+  expect_near(c, naive_matmul(at, b));
+}
+
+TEST(Tensor, GemmABtMatchesNaive) {
+  const Tensor a = random_tensor(6, 8, 8);  // m x k
+  const Tensor b = random_tensor(3, 8, 9);  // n x k
+  Tensor c(6, 3);
+  gemm_a_bt(1.0f, a, b, 0.0f, c);
+  Tensor bt(8, 3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  expect_near(c, naive_matmul(a, bt));
+}
+
+TEST(Tensor, BiasAndAccumulate) {
+  Tensor y = random_tensor(5, 4, 10);
+  const Tensor y0 = y;
+  Tensor bias(1, 4);
+  for (std::uint32_t j = 0; j < 4; ++j) bias.at(0, j) = j * 0.5f;
+  add_row_bias(y, bias);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(y.at(i, j), y0.at(i, j) + j * 0.5f);
+    }
+  }
+  Tensor bg(1, 4);
+  accumulate_bias_grad(y0, bg);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    float sum = 0;
+    for (std::uint32_t i = 0; i < 5; ++i) sum += y0.at(i, j);
+    EXPECT_NEAR(bg.at(0, j), sum, 1e-5);
+  }
+}
+
+TEST(Tensor, ReluForwardBackward) {
+  Tensor x(2, 3);
+  x.at(0, 0) = -1;
+  x.at(0, 1) = 2;
+  x.at(0, 2) = 0;
+  x.at(1, 0) = 5;
+  x.at(1, 1) = -3;
+  x.at(1, 2) = 1;
+  Tensor mask;
+  relu_forward(x, mask);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(x.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(x.at(1, 0), 5);
+  Tensor g(2, 3);
+  g.fill(1.0f);
+  relu_backward(g, mask);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 1);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 0);
+}
+
+TEST(Tensor, SoftmaxCrossEntropyValuesAndAccuracy) {
+  Tensor logits(2, 3);
+  logits.at(0, 0) = 10;  // confident, correct
+  logits.at(1, 2) = 10;  // confident, wrong (label 0)
+  std::vector<std::int32_t> labels{0, 0};
+  Tensor grad;
+  std::uint32_t correct = 0;
+  const double loss = softmax_cross_entropy(logits, labels, grad, correct);
+  EXPECT_EQ(correct, 1u);
+  EXPECT_GT(loss, 4.0);  // second row contributes ~10
+  EXPECT_EQ(count_correct(logits, labels), 1u);
+}
+
+TEST(Tensor, SoftmaxCrossEntropyGradientNumerical) {
+  Tensor logits = random_tensor(4, 6, 21);
+  std::vector<std::int32_t> labels{3, 0, 5, 1};
+  Tensor grad;
+  std::uint32_t correct;
+  softmax_cross_entropy(logits, labels, grad, correct);
+
+  const float eps = 1e-3f;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 6; ++j) {
+      Tensor lp = logits;
+      Tensor lm = logits;
+      lp.at(i, j) += eps;
+      lm.at(i, j) -= eps;
+      Tensor g2;
+      const double fp = softmax_cross_entropy(lp, labels, g2, correct);
+      const double fm = softmax_cross_entropy(lm, labels, g2, correct);
+      const double numeric = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(grad.at(i, j), numeric, 1e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(Tensor, UniformInitBounded) {
+  Rng rng(5);
+  Tensor t = Tensor::uniform(10, 10, rng, 0.25f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), 0.25f);
+  }
+}
+
+}  // namespace
+}  // namespace gnndrive

@@ -1,0 +1,194 @@
+// Unit tests for util: bounded queue, LRU list, thread pool, stats,
+// telemetry bucketing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/lru.hpp"
+#include "util/queue.hpp"
+#include "util/stats.hpp"
+#include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gnndrive {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, BlocksWhenFullUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_FALSE(q.push(9));
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, TryPopNonBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(3);
+  EXPECT_EQ(q.try_pop().value(), 3);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < 3; ++c) threads[kProducers + c].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(IndexedLru, PushPopOrder) {
+  IndexedLruList lru(8);
+  lru.push_mru(3);
+  lru.push_mru(5);
+  lru.push_mru(1);
+  EXPECT_EQ(lru.size(), 3u);
+  EXPECT_EQ(lru.pop_lru(), 3u);
+  EXPECT_EQ(lru.pop_lru(), 5u);
+  EXPECT_EQ(lru.pop_lru(), 1u);
+  EXPECT_TRUE(lru.empty());
+}
+
+TEST(IndexedLru, RemoveFromMiddle) {
+  IndexedLruList lru(8);
+  for (std::uint32_t i = 0; i < 5; ++i) lru.push_mru(i);
+  lru.remove(2);
+  EXPECT_FALSE(lru.contains(2));
+  EXPECT_EQ(lru.pop_lru(), 0u);
+  EXPECT_EQ(lru.pop_lru(), 1u);
+  EXPECT_EQ(lru.pop_lru(), 3u);
+  EXPECT_EQ(lru.pop_lru(), 4u);
+}
+
+TEST(IndexedLru, TouchMovesToMru) {
+  IndexedLruList lru(4);
+  lru.push_mru(0);
+  lru.push_mru(1);
+  lru.push_mru(2);
+  lru.touch(0);
+  EXPECT_EQ(lru.pop_lru(), 1u);
+  EXPECT_EQ(lru.pop_lru(), 2u);
+  EXPECT_EQ(lru.pop_lru(), 0u);
+}
+
+TEST(IndexedLru, ContainsSingleton) {
+  IndexedLruList lru(4);
+  EXPECT_FALSE(lru.contains(0));
+  lru.push_mru(0);
+  EXPECT_TRUE(lru.contains(0));
+  lru.remove(0);
+  EXPECT_FALSE(lru.contains(0));
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunningStat, Moments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(Telemetry, BucketsSplitIntervals) {
+  Telemetry tel(/*bucket_ms=*/10.0);
+  tel.start();
+  const TimePoint t0 = Clock::now();
+  // 25 ms of "cpu" spanning ~3 buckets.
+  tel.record(TraceCat::kCpuBusy, t0, t0 + std::chrono::milliseconds(25));
+  const auto buckets = tel.snapshot();
+  ASSERT_GE(buckets.size(), 3u);
+  double total = 0;
+  for (const auto& b : buckets) total += b.cpu_busy;
+  EXPECT_NEAR(total, 0.025, 1e-4);
+  EXPECT_NEAR(tel.total_seconds(TraceCat::kCpuBusy), 0.025, 1e-4);
+}
+
+TEST(Telemetry, CategoriesIndependent) {
+  Telemetry tel(10.0);
+  tel.start();
+  const TimePoint t0 = Clock::now();
+  tel.record(TraceCat::kIoWait, t0, t0 + std::chrono::milliseconds(5));
+  tel.record(TraceCat::kGpuBusy, t0, t0 + std::chrono::milliseconds(8));
+  EXPECT_NEAR(tel.total_seconds(TraceCat::kIoWait), 0.005, 1e-4);
+  EXPECT_NEAR(tel.total_seconds(TraceCat::kGpuBusy), 0.008, 1e-4);
+  EXPECT_DOUBLE_EQ(tel.total_seconds(TraceCat::kCpuBusy), 0.0);
+}
+
+}  // namespace
+}  // namespace gnndrive
