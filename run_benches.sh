@@ -1,6 +1,23 @@
 #!/bin/bash
 # Regenerates every paper table/figure: runs each bench binary in turn.
 # Usage: ./run_benches.sh [output-file]   (GNNDRIVE_BENCH_MODE=full for full sweeps)
+#        ./run_benches.sh --faults [output-file]
+#            fault-injection smoke mode: instead of the bench sweep, runs the
+#            fault-tolerance soak suite (injected EIOs, latency spikes, stuck
+#            requests, bad sectors) against the full pipeline.
+if [ "$1" = "--faults" ]; then
+  shift
+  OUT="${1:-fault_smoke_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ fault-injection smoke (FaultSoak + SsdFaults + watchdog) ############"
+    timeout 580 build/tests/gnndrive_tests \
+      --gtest_filter='FaultSoak.*:SsdFaults.*:RingFixture.Watchdog*:RingFixture.Injected*' 2>&1
+    echo "[exit=$?]"
+    echo FAULT_SMOKE_DONE
+  } >> "$OUT"
+  exit 0
+fi
 OUT="${1:-bench_output.txt}"
 : > "$OUT"
 for b in build/bench/*; do

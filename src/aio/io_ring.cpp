@@ -1,16 +1,18 @@
 #include "aio/io_ring.hpp"
 
-namespace gnndrive {
+#include <cerrno>
 
-namespace {
-constexpr std::int32_t kEinval = -22;
-}
+#include <stdexcept>
+
+namespace gnndrive {
 
 IoRing::IoRing(SsdDevice& ssd, IoRingConfig config, PageCache* cache,
                Telemetry* telemetry)
     : ssd_(ssd), config_(config), cache_(cache), telemetry_(telemetry) {
-  if (!config_.direct) {
-    GD_CHECK_MSG(cache_ != nullptr, "buffered IoRing requires a page cache");
+  if (!config_.direct && cache_ == nullptr) {
+    // Configuration error, not an internal invariant: report it to the
+    // caller instead of aborting the process.
+    throw std::invalid_argument("buffered IoRing requires a page cache");
   }
   staged_.reserve(config_.queue_depth);
 }
@@ -36,38 +38,60 @@ bool IoRing::prep_write(std::uint64_t offset, std::uint32_t len,
   return true;
 }
 
-void IoRing::complete(std::uint64_t user_data, std::int32_t res) {
+void IoRing::complete(std::uint64_t ring_id, std::int32_t res) {
+  std::uint64_t user_data;
   {
     std::lock_guard lock(mu_);
+    auto it = inflight_.find(ring_id);
+    if (it == inflight_.end()) return;  // cancelled by the watchdog
+    user_data = it->second.user_data;
+    inflight_.erase(it);
     cq_.push_back(Cqe{user_data, res});
     --in_flight_;
     if (in_flight_ == 0) all_done_.notify_all();
+  }
+  if (res < 0 && telemetry_ != nullptr) {
+    telemetry_->count(FaultCounter::kIoErrors);
   }
   cq_ready_.notify_one();
 }
 
 void IoRing::submit_one(const Sqe& sqe) {
+  std::uint64_t ring_id;
+  {
+    std::lock_guard lock(mu_);
+    ring_id = next_ring_id_++;
+    inflight_[ring_id] = InFlight{sqe.user_data, 0, Clock::now()};
+  }
   if (config_.direct &&
       (sqe.offset % kSectorSize != 0 || sqe.len % kSectorSize != 0)) {
-    // O_DIRECT alignment violation: fail the request like the kernel would.
-    complete(sqe.user_data, kEinval);
+    // O_DIRECT alignment violation: fail the request like the kernel would,
+    // without touching the device.
+    complete(ring_id, -EINVAL);
     return;
   }
   if (!config_.direct && sqe.op == SsdDevice::Op::kRead &&
       cache_->try_read_resident(sqe.offset, sqe.len, sqe.buf)) {
     // Buffered read fully served by the page cache: completes immediately.
-    complete(sqe.user_data, static_cast<std::int32_t>(sqe.len));
+    complete(ring_id, static_cast<std::int32_t>(sqe.len));
     return;
   }
   const bool buffered = !config_.direct;
   const auto offset = sqe.offset;
   const auto len = sqe.len;
-  const auto user_data = sqe.user_data;
-  ssd_.submit(sqe.op, sqe.offset, sqe.len, sqe.buf,
-              [this, buffered, offset, len, user_data] {
-                if (buffered) cache_->note_resident(offset, len);
-                complete(user_data, static_cast<std::int32_t>(len));
-              });
+  const std::uint64_t token = ssd_.submit(
+      sqe.op, sqe.offset, sqe.len, sqe.buf,
+      [this, buffered, offset, len, ring_id](std::int32_t res) {
+        if (buffered && res >= 0) cache_->note_resident(offset, len);
+        complete(ring_id, res);
+      });
+  {
+    // The completion may already have fired and erased the entry; only a
+    // still-live entry learns its device token (needed for cancellation).
+    std::lock_guard lock(mu_);
+    auto it = inflight_.find(ring_id);
+    if (it != inflight_.end()) it->second.device_token = token;
+  }
 }
 
 unsigned IoRing::submit() {
@@ -79,6 +103,42 @@ unsigned IoRing::submit() {
   for (const Sqe& sqe : staged_) submit_one(sqe);
   staged_.clear();
   return n;
+}
+
+unsigned IoRing::cancel_expired(Duration timeout) {
+  const TimePoint cutoff = Clock::now() - timeout;
+  // Collect candidates first: try_cancel takes the device lock, and holding
+  // mu_ across it is safe (the device thread never holds its lock while
+  // calling complete()) but kept short anyway.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> candidates;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [ring_id, entry] : inflight_) {
+      if (entry.device_token != 0 && entry.submitted_at <= cutoff) {
+        candidates.emplace_back(ring_id, entry.device_token);
+      }
+    }
+  }
+  unsigned cancelled = 0;
+  for (const auto& [ring_id, token] : candidates) {
+    if (!ssd_.try_cancel(token)) continue;  // completing; CQE will arrive
+    {
+      std::lock_guard lock(mu_);
+      auto it = inflight_.find(ring_id);
+      if (it == inflight_.end()) continue;  // raced with completion
+      cq_.push_back(Cqe{it->second.user_data, -ETIMEDOUT});
+      inflight_.erase(it);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+    ++cancelled;
+    if (telemetry_ != nullptr) {
+      telemetry_->count(FaultCounter::kIoTimeouts);
+      telemetry_->count(FaultCounter::kIoErrors);
+    }
+    cq_ready_.notify_one();
+  }
+  return cancelled;
 }
 
 std::optional<Cqe> IoRing::peek_cqe() {
@@ -93,6 +153,17 @@ Cqe IoRing::wait_cqe() {
   ScopedTrace trace(telemetry_, TraceCat::kIoWait);
   std::unique_lock lock(mu_);
   cq_ready_.wait(lock, [&] { return !cq_.empty(); });
+  Cqe cqe = cq_.front();
+  cq_.pop_front();
+  return cqe;
+}
+
+std::optional<Cqe> IoRing::wait_cqe_for(Duration timeout) {
+  ScopedTrace trace(telemetry_, TraceCat::kIoWait);
+  std::unique_lock lock(mu_);
+  if (!cq_ready_.wait_for(lock, timeout, [&] { return !cq_.empty(); })) {
+    return std::nullopt;
+  }
   Cqe cqe = cq_.front();
   cq_.pop_front();
   return cqe;

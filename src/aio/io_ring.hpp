@@ -14,12 +14,20 @@
 //  * buffered: requests consume the simulated OS page cache (hits complete
 //    without device service; misses fault through the device and leave the
 //    pages resident) — the page-cache pollution GNNDrive avoids.
+//
+// Error handling: device failures (injected or real FileBackend errno)
+// complete their CQEs with res < 0 instead of asserting. The ring tracks
+// submission timestamps so a stage watchdog can cancel_expired() overdue
+// requests — each cancelled request synthesizes a CQE with -ETIMEDOUT, and
+// the device guarantees a cancelled request never touches its buffer (no
+// use-after-reuse of staging rows).
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "memsim/page_cache.hpp"
@@ -41,7 +49,8 @@ struct IoRingConfig {
 
 class IoRing : NonCopyable {
  public:
-  /// `cache` is required in buffered mode, ignored in direct mode.
+  /// `cache` is required in buffered mode (throws std::invalid_argument
+  /// otherwise), ignored in direct mode.
   IoRing(SsdDevice& ssd, IoRingConfig config, PageCache* cache = nullptr,
          Telemetry* telemetry = nullptr);
   ~IoRing();
@@ -62,6 +71,18 @@ class IoRing : NonCopyable {
   /// Blocking CQE reap; the wait is attributed to TraceCat::kIoWait.
   Cqe wait_cqe();
 
+  /// Bounded-wait CQE reap: returns nullopt when no CQE arrived within
+  /// `timeout` (the watchdog poll primitive).
+  std::optional<Cqe> wait_cqe_for(Duration timeout);
+
+  /// Watchdog sweep: cancels every in-flight request submitted more than
+  /// `timeout` ago whose device request is still cancellable, synthesizing a
+  /// CQE with res == -ETIMEDOUT for each. Requests already completing on the
+  /// device are left alone (their CQEs arrive normally). Returns the number
+  /// of requests cancelled. Pass Duration::zero() to cancel everything
+  /// cancellable (abort path).
+  unsigned cancel_expired(Duration timeout);
+
   /// Number of submitted requests whose CQEs have not been reaped yet.
   unsigned in_flight() const;
 
@@ -75,8 +96,13 @@ class IoRing : NonCopyable {
     void* buf;
     std::uint64_t user_data;
   };
+  struct InFlight {
+    std::uint64_t user_data = 0;
+    std::uint64_t device_token = 0;  ///< 0 while the submit call is racing
+    TimePoint submitted_at;
+  };
 
-  void complete(std::uint64_t user_data, std::int32_t res);
+  void complete(std::uint64_t ring_id, std::int32_t res);
   void submit_one(const Sqe& sqe);
 
   SsdDevice& ssd_;
@@ -90,6 +116,8 @@ class IoRing : NonCopyable {
   std::condition_variable cq_ready_;
   std::condition_variable all_done_;
   std::deque<Cqe> cq_;
+  std::unordered_map<std::uint64_t, InFlight> inflight_;  ///< by ring id
+  std::uint64_t next_ring_id_ = 1;
   unsigned in_flight_ = 0;
 };
 

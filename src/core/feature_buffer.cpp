@@ -31,7 +31,9 @@ FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
     ++stats_.reuse_hits;
     result = {CheckStatus::kReady, e.slot};
   } else if (e.ref_count > 0) {
-    // Another extractor is loading this node right now.
+    // Another extractor is loading this node right now (or has marked it
+    // failed and its references are still draining — waiters then see the
+    // failure from wait_ready and fail their own batch).
     ++stats_.wait_hits;
     result = {CheckStatus::kInFlight, e.slot};
   } else {
@@ -75,24 +77,64 @@ void FeatureBuffer::mark_valid(NodeId node) {
   became_valid_.notify_all();
 }
 
+void FeatureBuffer::mark_failed(NodeId node) {
+  {
+    std::lock_guard lock(mu_);
+    Entry& e = map_[node];
+    GD_CHECK_MSG(e.ref_count > 0, "mark_failed on unreferenced node");
+    GD_CHECK_MSG(!e.valid, "mark_failed on valid node");
+    e.failed = true;
+    ++stats_.failed_loads;
+  }
+  became_valid_.notify_all();
+}
+
 SlotId FeatureBuffer::wait_valid(NodeId node) {
   std::unique_lock lock(mu_);
   became_valid_.wait(lock, [&] { return map_[node].valid; });
   return map_[node].slot;
 }
 
+std::optional<SlotId> FeatureBuffer::wait_ready(NodeId node,
+                                                Duration timeout) {
+  std::unique_lock lock(mu_);
+  const bool resolved = became_valid_.wait_for(lock, timeout, [&] {
+    return map_[node].valid || map_[node].failed;
+  });
+  if (!resolved) return std::nullopt;
+  return map_[node].valid ? map_[node].slot : kNoSlot;
+}
+
+bool FeatureBuffer::retire_locked(NodeId node) {
+  Entry& e = map_[node];
+  GD_CHECK_MSG(e.ref_count > 0, "release without reference");
+  if (--e.ref_count != 0) return false;
+  if (e.failed) {
+    // Failed load fully resets at the last release: the slot (if one was
+    // allocated) returns to standby with no occupant, and the entry goes
+    // back to the unbuffered state so a later batch retries from scratch.
+    const bool freed = e.slot != kNoSlot;
+    if (freed) {
+      reverse_[static_cast<std::size_t>(e.slot)] = kInvalidNode;
+      standby_.push_mru(static_cast<std::uint32_t>(e.slot));
+    }
+    e = Entry{};
+    return freed;
+  }
+  if (e.slot != kNoSlot) {
+    // Retired: slot joins the MRU end of the standby list; the mapping
+    // entry stays valid so the node can be reused across mini-batches.
+    standby_.push_mru(static_cast<std::uint32_t>(e.slot));
+    return true;
+  }
+  return false;
+}
+
 void FeatureBuffer::release_one(NodeId node) {
   bool freed = false;
   {
     std::lock_guard lock(mu_);
-    Entry& e = map_[node];
-    GD_CHECK_MSG(e.ref_count > 0, "release without reference");
-    if (--e.ref_count == 0 && e.slot != kNoSlot) {
-      // Retired: slot joins the MRU end of the standby list; the mapping
-      // entry stays valid so the node can be reused across mini-batches.
-      standby_.push_mru(static_cast<std::uint32_t>(e.slot));
-      freed = true;
-    }
+    freed = retire_locked(node);
   }
   if (freed) slot_available_.notify_all();
 }
@@ -101,14 +143,7 @@ void FeatureBuffer::release(const std::vector<NodeId>& nodes) {
   bool freed = false;
   {
     std::lock_guard lock(mu_);
-    for (NodeId node : nodes) {
-      Entry& e = map_[node];
-      GD_CHECK_MSG(e.ref_count > 0, "release without reference");
-      if (--e.ref_count == 0 && e.slot != kNoSlot) {
-        standby_.push_mru(static_cast<std::uint32_t>(e.slot));
-        freed = true;
-      }
-    }
+    for (NodeId node : nodes) freed |= retire_locked(node);
   }
   if (freed) slot_available_.notify_all();
 }

@@ -25,6 +25,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "util/common.hpp"
@@ -42,6 +43,7 @@ struct FeatureBufferStats {
   std::uint64_t wait_hits = 0;     ///< node being loaded by another thread
   std::uint64_t loads = 0;         ///< nodes that required an SSD load
   std::uint64_t slot_waits = 0;    ///< times allocate_slot had to block
+  std::uint64_t failed_loads = 0;  ///< nodes marked failed by an extractor
 };
 
 class FeatureBuffer : NonCopyable {
@@ -70,8 +72,22 @@ class FeatureBuffer : NonCopyable {
   /// Marks the node's data ready (after load + transfer) and wakes waiters.
   void mark_valid(NodeId node);
 
+  /// Marks a node whose load permanently failed; wakes waiters, which see
+  /// kNoSlot from wait_ready(). The node's references stay owed — when the
+  /// last one is released the entry fully resets (slot back to standby,
+  /// failed flag cleared) so a later batch can retry the load from scratch.
+  /// Valid both for nodes with an allocated slot and for kMustLoad nodes
+  /// whose extractor aborted before allocate_slot().
+  void mark_failed(NodeId node);
+
   /// Blocks until `node` is valid; returns its slot (wait-list resolution).
   SlotId wait_valid(NodeId node);
+
+  /// Fault-tolerant wait-list resolution: returns the slot once valid,
+  /// kNoSlot if the loading extractor marked the node failed, and nullopt if
+  /// neither happened within `timeout` (loader died — the caller should fail
+  /// its batch rather than deadlock).
+  std::optional<SlotId> wait_ready(NodeId node, Duration timeout);
 
   /// Releaser path: drops one reference per node; slots reaching zero are
   /// appended at the MRU end of the standby list. Mapping entries stay valid
@@ -95,6 +111,7 @@ class FeatureBuffer : NonCopyable {
     SlotId slot = kNoSlot;
     std::uint32_t ref_count = 0;
     bool valid = false;
+    bool failed = false;  ///< load permanently failed; resets at refcount 0
   };
   Entry entry(NodeId node) const;
   NodeId reverse(SlotId slot) const;  ///< kInvalidNode when slot is empty
@@ -104,6 +121,10 @@ class FeatureBuffer : NonCopyable {
   static constexpr NodeId kInvalidNode = 0xffffffffu;
 
  private:
+  /// Drops one reference; returns true when a slot joined the standby list.
+  /// Called with mu_ held.
+  bool retire_locked(NodeId node);
+
   const std::uint64_t num_slots_;
   const std::uint32_t row_floats_;
 

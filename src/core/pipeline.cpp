@@ -1,11 +1,15 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 
 #include "core/evaluate.hpp"
 #include "sampling/topology.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace gnndrive {
 
@@ -19,12 +23,29 @@ void model_cpu_slowdown(double real_seconds, double factor) {
   }
 }
 
+/// Transient storage failures are retried; anything else (alignment bugs,
+/// out-of-range) is a programming error and fails the batch immediately.
+bool transient_error(std::int32_t res) {
+  return res == -EIO || res == -ETIMEDOUT;
+}
+
 }  // namespace
 
 struct GnnDrive::ExtractorState {
   std::unique_ptr<IoRing> ring;
   std::uint8_t* staging_base = nullptr;  ///< ring_depth covering rows
   std::uint8_t* gds_base = nullptr;      ///< ring_depth covering blocks (GDS)
+  Rng backoff_rng{0};                    ///< jitter source, seeded per worker
+  EpochResult counters;                  ///< accumulated fault accounting
+
+  /// Jittered exponential backoff delay before retry number `attempt` (1+).
+  Duration backoff(const FaultToleranceConfig& ft, std::uint32_t attempt) {
+    double us = ft.backoff_initial_us;
+    for (std::uint32_t a = 1; a < attempt; ++a) us *= ft.backoff_multiplier;
+    const double jitter =
+        1.0 + ft.backoff_jitter * (2.0 * backoff_rng.next_double() - 1.0);
+    return from_us(us * std::max(jitter, 0.0));
+  }
 };
 
 GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
@@ -167,10 +188,17 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
 
 GnnDrive::~GnnDrive() = default;
 
-void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
+bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   FeatureBuffer& fb = *feature_buffer_;
   const OnDiskLayout& lay = ctx_.dataset->layout();
   const auto row_bytes = static_cast<std::uint32_t>(lay.feature_row_bytes);
+  const FaultToleranceConfig& ft = config_.fault;
+  const Duration req_timeout = from_us(ft.request_timeout_ms * 1e3);
+  // Watchdog poll granularity: short enough to detect stuck requests well
+  // within the timeout, long enough to stay off the fast path.
+  const Duration poll =
+      std::max(from_us(ft.request_timeout_ms * 1e3 / 4), from_us(500.0));
+  const Duration wait_list_timeout = from_us(ft.wait_list_timeout_ms * 1e3);
 
   std::vector<std::uint32_t> wait_idx;
   std::vector<std::uint32_t> load_idx;
@@ -198,39 +226,81 @@ void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
     // GPUDirect-Storage path (Sect. 4.4): SSD DMAs 4 KiB-aligned blocks
     // straight into device bounce memory; an on-device copy places the row
     // into its feature-buffer slot. No host staging, no separate H2D phase.
+    // Fault policy here is simpler than the staging path: transient read
+    // failures retry immediately (same bounce block) up to the budget; the
+    // watchdog cancels overdue requests so a stuck DMA cannot wedge the
+    // extractor.
     std::vector<unsigned> free_bounce;
     for (unsigned i = 0; i < config_.ring_depth; ++i) free_bounce.push_back(i);
-    std::vector<unsigned> bounce_of(load_idx.size(), 0);
+    const std::size_t n_load = load_idx.size();
+    std::vector<unsigned> bounce_of(n_load, 0);
+    std::vector<std::uint32_t> attempts(n_load, 0);
     std::size_t submitted = 0;
-    std::size_t finished = 0;
-    while (finished < load_idx.size()) {
-      while (submitted < load_idx.size() && !free_bounce.empty()) {
-        const std::uint32_t i = load_idx[submitted];
-        const NodeId node = batch.nodes[i];
-        const SlotId slot = fb.allocate_slot(node);
-        batch.alias[i] = slot;
-        const unsigned bslot = free_bounce.back();
+    std::size_t resolved = 0;
+    std::size_t inflight = 0;
+    bool failed = false;
+    const auto submit_gds_read = [&](std::size_t j) {
+      const NodeId node = batch.nodes[load_idx[j]];
+      const std::uint64_t off = lay.feature_offset_of(node);
+      const std::uint64_t base = round_down(off, kPageSize);  // 4 KiB
+      const auto len = static_cast<std::uint32_t>(
+          round_up(off + row_bytes, kPageSize) - base);
+      GD_CHECK(len <= gds_covering_bytes_);
+      state.ring->prep_read(
+          base, len, state.gds_base + bounce_of[j] * gds_covering_bytes_, j);
+      state.ring->submit();
+      ++inflight;
+    };
+    while (resolved < n_load) {
+      while (!failed && submitted < n_load && !free_bounce.empty()) {
+        const std::size_t j = submitted++;
+        const std::uint32_t i = load_idx[j];
+        batch.alias[i] = fb.allocate_slot(batch.nodes[i]);
+        bounce_of[j] = free_bounce.back();
         free_bounce.pop_back();
-        bounce_of[submitted] = bslot;
-        const std::uint64_t off = lay.feature_offset_of(node);
-        const std::uint64_t base = round_down(off, kPageSize);  // 4 KiB
-        const auto len = static_cast<std::uint32_t>(
-            round_up(off + row_bytes, kPageSize) - base);
-        GD_CHECK(len <= gds_covering_bytes_);
-        state.ring->prep_read(base, len,
-                              state.gds_base + bslot * gds_covering_bytes_,
-                              submitted);
-        state.ring->submit();
-        ++submitted;
+        submit_gds_read(j);
       }
-      const Cqe cqe = state.ring->wait_cqe();
-      GD_CHECK_MSG(cqe.res >= 0, "gds extraction read failed");
-      const std::size_t j = cqe.user_data;
-      const std::uint32_t i = load_idx[j];
-      const NodeId node = batch.nodes[i];
+      if (failed && submitted < n_load) {
+        // Unwind loads that were never submitted: their refs are owed but no
+        // slot was allocated; waiters see the failure and fail their batch.
+        for (std::size_t j = submitted; j < n_load; ++j) {
+          fb.mark_failed(batch.nodes[load_idx[j]]);
+          ++resolved;
+        }
+        submitted = n_load;
+        continue;
+      }
+      if (inflight == 0) continue;
+      const auto cqe_opt = state.ring->wait_cqe_for(poll);
+      if (!cqe_opt) {
+        state.ring->cancel_expired(req_timeout);
+        continue;
+      }
+      --inflight;
+      const std::size_t j = cqe_opt->user_data;
+      const NodeId node = batch.nodes[load_idx[j]];
+      if (cqe_opt->res < 0) {
+        ++state.counters.io_errors;
+        if (cqe_opt->res == -ETIMEDOUT) ++state.counters.io_timeouts;
+        if (!failed && transient_error(cqe_opt->res) &&
+            attempts[j] < ft.max_retries) {
+          ++attempts[j];
+          ++state.counters.io_retries;
+          if (ctx_.telemetry) ctx_.telemetry->count(FaultCounter::kIoRetries);
+          submit_gds_read(j);
+          continue;
+        }
+        failed = true;
+        fb.mark_failed(node);
+        free_bounce.push_back(bounce_of[j]);
+        ++resolved;
+        continue;
+      }
+      if (attempts[j] > 0) ++state.counters.io_recovered;
       const std::uint64_t off = lay.feature_offset_of(node);
       const std::uint64_t base = round_down(off, kPageSize);
       const unsigned bslot = bounce_of[j];
+      const std::uint32_t i = load_idx[j];
       gpu_->launch([&] {  // on-device copy: bounce block -> slot
         std::memcpy(fb.slot_data(batch.alias[i]),
                     state.gds_base + bslot * gds_covering_bytes_ +
@@ -239,12 +309,18 @@ void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
       });
       fb.mark_valid(node);
       free_bounce.push_back(bslot);
-      ++finished;
+      ++resolved;
     }
     for (std::uint32_t i : wait_idx) {
-      batch.alias[i] = fb.wait_valid(batch.nodes[i]);
+      if (failed) break;  // refs released by the caller
+      const auto slot = fb.wait_ready(batch.nodes[i], wait_list_timeout);
+      if (!slot.has_value() || *slot == kNoSlot) {
+        failed = true;
+        break;
+      }
+      batch.alias[i] = *slot;
     }
-    return;
+    return !failed;
   }
 
   // Pass 2 (lines 20-31): allocate slots and submit asynchronous loads.
@@ -253,6 +329,14 @@ void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   // ring_depth requests are in flight (the io_uring I/O depth, Appendix A),
   // and each occupies one staging row until its transfer retires — the
   // staging buffer recycles.
+  //
+  // Fault tolerance: transient read failures (-EIO, watchdog -ETIMEDOUT) are
+  // retried with jittered exponential backoff, keeping their staging row so
+  // the resubmission cannot block on the row pool. The first unrecoverable
+  // failure fails the whole batch: every unresolved load is marked failed in
+  // the feature buffer (waking cross-batch waiters), in-flight reads are
+  // still reaped (a cancelled request never touches its staging row), and
+  // the caller releases all references so no slot leaks.
   struct TransferTracker {
     std::mutex m;
     std::condition_variable cv;
@@ -264,12 +348,71 @@ void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   }
   const std::size_t n_load = load_idx.size();
   std::vector<unsigned> row_of(n_load, 0);
+  std::vector<std::uint32_t> attempts(n_load, 0);
+  struct RetryEntry {
+    TimePoint due;
+    std::size_t j;
+  };
+  std::vector<RetryEntry> retries;  // loads sitting out a backoff delay
 
   std::size_t submitted = 0;
-  std::size_t reaped = 0;
-  while (reaped < n_load) {
+  std::size_t resolved = 0;  // loads that reached a terminal state
+  std::size_t inflight = 0;
+  std::size_t transfers_started = 0;
+  bool failed = false;
+
+  const auto submit_read = [&](std::size_t j) {
+    const NodeId node = batch.nodes[load_idx[j]];
+    const std::uint64_t off = lay.feature_offset_of(node);
+    const std::uint64_t base = round_down(off, kSectorSize);
+    const auto len = static_cast<std::uint32_t>(
+        round_up(off + row_bytes, kSectorSize) - base);
+    GD_CHECK(len <= covering_row_bytes_);
+    std::uint8_t* dst = state.staging_base + row_of[j] * covering_row_bytes_;
+    state.ring->prep_read(base, len, dst, j);
+    state.ring->submit();
+    ++inflight;
+  };
+  const auto free_row = [&](unsigned row) {
+    {
+      std::lock_guard lk(tracker.m);
+      tracker.free_rows.push_back(row);
+    }
+    tracker.cv.notify_all();
+  };
+  // First unrecoverable failure: resolve everything that is not in flight.
+  // Unsubmitted loads hold a reference but no slot; backoff-pending retries
+  // also hand their staging rows back.
+  const auto fail_pending = [&] {
+    for (std::size_t j = submitted; j < n_load; ++j) {
+      fb.mark_failed(batch.nodes[load_idx[j]]);
+      ++resolved;
+    }
+    submitted = n_load;
+    for (const RetryEntry& r : retries) {
+      fb.mark_failed(batch.nodes[load_idx[r.j]]);
+      free_row(row_of[r.j]);
+      ++resolved;
+    }
+    retries.clear();
+  };
+
+  while (resolved < n_load) {
+    // Resubmit retries whose backoff has elapsed (they keep their rows).
+    if (!retries.empty()) {
+      const TimePoint now = Clock::now();
+      for (std::size_t k = 0; k < retries.size();) {
+        if (retries[k].due <= now) {
+          submit_read(retries[k].j);
+          retries[k] = retries.back();
+          retries.pop_back();
+        } else {
+          ++k;
+        }
+      }
+    }
     // Top up submissions while staging rows are free.
-    while (submitted < n_load) {
+    while (!failed && submitted < n_load) {
       unsigned row;
       {
         std::lock_guard lk(tracker.m);
@@ -283,36 +426,65 @@ void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
       const NodeId node = batch.nodes[i];
       const SlotId slot = fb.allocate_slot(node);  // may block on standby
       batch.alias[i] = slot;
-      const std::uint64_t off = lay.feature_offset_of(node);
-      const std::uint64_t base = round_down(off, kSectorSize);
-      const auto len = static_cast<std::uint32_t>(
-          round_up(off + row_bytes, kSectorSize) - base);
-      GD_CHECK(len <= covering_row_bytes_);
-      std::uint8_t* dst = state.staging_base + row * covering_row_bytes_;
-      state.ring->prep_read(base, len, dst, j);
-      state.ring->submit();
+      submit_read(j);
     }
-    if (reaped == submitted) {
+    if (inflight == 0) {
+      if (resolved == n_load) break;
+      if (!retries.empty()) {
+        // Only backed-off loads remain; sleep until the earliest is due.
+        TimePoint earliest = retries[0].due;
+        for (const RetryEntry& r : retries) earliest = std::min(earliest, r.due);
+        std::this_thread::sleep_until(earliest);
+        continue;
+      }
       // Nothing in flight to reap; wait for a transfer to free a row.
       ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
       std::unique_lock lk(tracker.m);
       tracker.cv.wait(lk, [&] { return !tracker.free_rows.empty(); });
       continue;
     }
-    // Reap one load; its transfer starts immediately (lines 32-35) and
-    // overlaps the loading of the next nodes.
-    const Cqe cqe = state.ring->wait_cqe();
-    GD_CHECK_MSG(cqe.res >= 0, "extraction read failed");
-    ++reaped;
-    const std::size_t j = cqe.user_data;
+    // Reap one load; on success its transfer starts immediately (lines
+    // 32-35) and overlaps the loading of the next nodes. The watchdog turns
+    // overdue requests into -ETIMEDOUT completions so a stuck device can
+    // never wedge this loop.
+    const auto cqe_opt = state.ring->wait_cqe_for(poll);
+    if (!cqe_opt) {
+      state.ring->cancel_expired(req_timeout);
+      continue;
+    }
+    --inflight;
+    const std::size_t j = cqe_opt->user_data;
     const std::uint32_t i = load_idx[j];
     const NodeId node = batch.nodes[i];
+    if (cqe_opt->res < 0) {
+      ++state.counters.io_errors;
+      if (cqe_opt->res == -ETIMEDOUT) ++state.counters.io_timeouts;
+      if (!failed && transient_error(cqe_opt->res) &&
+          attempts[j] < ft.max_retries) {
+        ++attempts[j];
+        ++state.counters.io_retries;
+        if (ctx_.telemetry) ctx_.telemetry->count(FaultCounter::kIoRetries);
+        retries.push_back({Clock::now() + state.backoff(ft, attempts[j]), j});
+        continue;
+      }
+      fb.mark_failed(node);
+      free_row(row_of[j]);
+      ++resolved;
+      if (!failed) {
+        failed = true;
+        fail_pending();
+      }
+      continue;
+    }
+    if (attempts[j] > 0) ++state.counters.io_recovered;
+    ++resolved;
     const SlotId slot = batch.alias[i];
     const unsigned row = row_of[j];
     const std::uint64_t off = lay.feature_offset_of(node);
     const std::uint64_t base = round_down(off, kSectorSize);
     const std::uint8_t* src =
         state.staging_base + row * covering_row_bytes_ + (off - base);
+    ++transfers_started;
     if (gpu_ != nullptr) {
       gpu_->memcpy_h2d_async(
           fb.slot_data(slot), src, row_bytes, [&fb, node, row, &tracker] {
@@ -335,16 +507,27 @@ void GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
     }
   }
 
-  if (gpu_ != nullptr && n_load > 0) {
+  // Always drain transfers — their callbacks touch this stack frame.
+  if (gpu_ != nullptr && transfers_started > 0) {
     ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
     std::unique_lock lk(tracker.m);
-    tracker.cv.wait(lk, [&] { return tracker.transfers_done == n_load; });
+    tracker.cv.wait(lk,
+                    [&] { return tracker.transfers_done == transfers_started; });
   }
 
-  // Wait-list resolution (line 38): nodes other extractors were loading.
+  // Wait-list resolution (line 38): nodes other extractors were loading. A
+  // loader always resolves its nodes (valid or failed), so the timeout only
+  // fires if that extractor died; the waiter then fails its batch too.
   for (std::uint32_t i : wait_idx) {
-    batch.alias[i] = fb.wait_valid(batch.nodes[i]);
+    if (failed) break;  // refs released by the caller
+    const auto slot = fb.wait_ready(batch.nodes[i], wait_list_timeout);
+    if (!slot.has_value() || *slot == kNoSlot) {
+      failed = true;
+      break;
+    }
+    batch.alias[i] = *slot;
   }
+  return !failed;
 }
 
 void GnnDrive::train_batch(SampledBatch& batch, EpochStats& stats) {
@@ -438,6 +621,13 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   std::atomic<std::size_t> next_batch{0};
   std::atomic<std::uint64_t> sample_ns{0};
   std::atomic<std::uint64_t> extract_ns{0};
+  // Epoch fault accounting (EpochResult), merged from per-worker counters.
+  std::atomic<std::uint64_t> failed_batches{0};
+  std::atomic<std::uint64_t> trained_batches{0};
+  std::atomic<std::uint64_t> io_errors{0};
+  std::atomic<std::uint64_t> io_retries{0};
+  std::atomic<std::uint64_t> io_recovered{0};
+  std::atomic<std::uint64_t> io_timeouts{0};
   std::mutex err_mu;
   std::exception_ptr error;
   const auto capture_error = [&] {
@@ -487,8 +677,17 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   } else {
     for (std::uint32_t e = 0; e < num_extractors_; ++e) {
       workers.emplace_back([&, e] {
+        ExtractorState state;
+        state.backoff_rng =
+            Rng(splitmix64(config_.common.run_seed ^ (epoch << 8) ^ e));
+        const auto flush_counters = [&] {
+          io_errors.fetch_add(state.counters.io_errors);
+          io_retries.fetch_add(state.counters.io_retries);
+          io_recovered.fetch_add(state.counters.io_recovered);
+          io_timeouts.fetch_add(state.counters.io_timeouts);
+          state.counters = EpochResult{};
+        };
         try {
-          ExtractorState state;
           IoRingConfig rc;
           rc.queue_depth = config_.ring_depth;
           // Direct I/O bypasses the OS page cache (Sect. 4.2); buffered
@@ -510,11 +709,32 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
           }
           while (auto batch = extract_q.pop()) {
             const TimePoint ts = Clock::now();
-            extract_batch(*batch, state);
+            const bool ok = extract_batch(*batch, state);
             extract_ns.fetch_add(static_cast<std::uint64_t>(
                 to_seconds(Clock::now() - ts) * 1e9));
-            if (!train_q.push(std::move(*batch))) break;
+            if (ok) {
+              if (!train_q.push(std::move(*batch))) break;
+            } else {
+              // Graceful degradation: the batch never trains, but its
+              // references must still drain so slots return to standby.
+              failed_batches.fetch_add(1);
+              if (ctx_.telemetry) {
+                ctx_.telemetry->count(FaultCounter::kFailedBatches);
+              }
+              if (auto nodes = release_q.push_or_reclaim(
+                      std::move(batch->nodes))) {
+                // Epoch is aborting and the releaser is gone: release inline
+                // so no extractor starves waiting for slots.
+                feature_buffer_->release(*nodes);
+              }
+              if (config_.fault.fail_fast) {
+                flush_counters();
+                throw std::runtime_error(
+                    "GNNDrive: batch extraction failed (fail_fast)");
+              }
+            }
           }
+          flush_counters();
         } catch (...) {
           capture_error();
         }
@@ -527,7 +747,11 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
           const TimePoint ts = Clock::now();
           train_batch(*batch, stats);
           stats.train_seconds += to_seconds(Clock::now() - ts);
-          release_q.push(std::move(batch->nodes));
+          trained_batches.fetch_add(1);
+          if (auto nodes =
+                  release_q.push_or_reclaim(std::move(batch->nodes))) {
+            feature_buffer_->release(*nodes);  // epoch aborting; see above
+          }
         }
         release_q.close();
       } catch (...) {
@@ -567,9 +791,19 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   stats.epoch_seconds = to_seconds(Clock::now() - t0);
   stats.sample_seconds = static_cast<double>(sample_ns.load()) / 1e9;
   stats.extract_seconds = static_cast<double>(extract_ns.load()) / 1e9;
-  if (n_batches > 0) {
-    stats.loss /= static_cast<double>(n_batches);
-    stats.train_accuracy /= static_cast<double>(n_batches);
+  stats.result.failed_batches = failed_batches.load();
+  stats.result.trained_batches = trained_batches.load();
+  stats.result.io_errors = io_errors.load();
+  stats.result.io_retries = io_retries.load();
+  stats.result.io_recovered = io_recovered.load();
+  stats.result.io_timeouts = io_timeouts.load();
+  // Mean loss/accuracy over the batches that actually trained (identical to
+  // dividing by n_batches on a clean epoch).
+  const std::uint64_t denom =
+      config_.common.sample_only ? n_batches : trained_batches.load();
+  if (denom > 0) {
+    stats.loss /= static_cast<double>(denom);
+    stats.train_accuracy /= static_cast<double>(denom);
   }
   return stats;
 }

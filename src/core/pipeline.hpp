@@ -40,8 +40,32 @@
 
 namespace gnndrive {
 
+/// Fault-tolerance knobs for the extract stage (see DESIGN.md "Fault model
+/// & recovery"). Defaults are tuned to the simulated device's latencies and
+/// add no measurable cost when the storage layer never fails.
+struct FaultToleranceConfig {
+  /// Per-read retry budget for transient failures (-EIO, -ETIMEDOUT).
+  std::uint32_t max_retries = 3;
+  /// Exponential backoff before a retry: initial delay, growth factor, and
+  /// uniform jitter fraction (0.25 = +-25%), deterministic per extractor.
+  double backoff_initial_us = 100.0;
+  double backoff_multiplier = 4.0;
+  double backoff_jitter = 0.25;
+  /// Stage watchdog: an in-flight read older than this is cancelled with
+  /// -ETIMEDOUT and retried (or fails the batch once the budget is spent).
+  double request_timeout_ms = 250.0;
+  /// Upper bound on waiting for a node another extractor is loading; a
+  /// loader always resolves its nodes (valid or failed), so this only fires
+  /// if that extractor died — the waiter fails its batch instead of hanging.
+  double wait_list_timeout_ms = 10000.0;
+  /// Abort the epoch on the first unrecoverable batch (benches that want
+  /// fail-stop semantics); default is graceful degradation.
+  bool fail_fast = false;
+};
+
 struct GnnDriveConfig {
   CommonTrainConfig common;
+  FaultToleranceConfig fault;
   std::uint32_t num_samplers = 4;
   std::uint32_t num_extractors = 4;  ///< upper bound; may auto-shrink
   std::uint32_t extract_queue_cap = 6;
@@ -104,7 +128,9 @@ class GnnDrive final : public TrainSystem {
 
  private:
   struct ExtractorState;
-  void extract_batch(SampledBatch& batch, ExtractorState& state);
+  /// Returns true on success; false when the batch was abandoned after
+  /// exhausting retries (its refs must still be released by the caller).
+  bool extract_batch(SampledBatch& batch, ExtractorState& state);
   void train_batch(SampledBatch& batch, EpochStats& stats);
 
   RunContext ctx_;

@@ -25,6 +25,19 @@ struct RunContext {
   Telemetry* telemetry = nullptr;  ///< optional
 };
 
+/// Structured fault/recovery summary for one epoch. All-zero on a clean
+/// epoch; populated instead of hanging or aborting when the storage layer
+/// injects (or a real backend produces) I/O failures.
+struct EpochResult {
+  std::uint64_t failed_batches = 0;  ///< abandoned after exhausting retries
+  std::uint64_t trained_batches = 0; ///< batches that reached the trainer
+  std::uint64_t io_errors = 0;       ///< error CQEs observed (EIO, timeouts)
+  std::uint64_t io_retries = 0;      ///< reads re-submitted after a failure
+  std::uint64_t io_recovered = 0;    ///< reads that succeeded after >=1 retry
+  std::uint64_t io_timeouts = 0;     ///< requests cancelled by the watchdog
+  bool ok() const { return failed_batches == 0; }
+};
+
 /// Per-epoch outcome. Stage seconds are summed over batches (and threads),
 /// so with pipelining their sum can exceed the wall-clock epoch time.
 struct EpochStats {
@@ -36,6 +49,7 @@ struct EpochStats {
   double loss = 0.0;            ///< mean training loss over the epoch
   double train_accuracy = 0.0;  ///< mini-batch argmax accuracy
   std::uint64_t batches = 0;
+  EpochResult result;           ///< fault/recovery summary (zero when clean)
 };
 
 /// Knobs shared by every system (the paper's common experimental setup).

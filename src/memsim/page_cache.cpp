@@ -1,6 +1,7 @@
 #include "memsim/page_cache.hpp"
 
 #include <list>
+#include <stdexcept>
 #include <vector>
 
 namespace gnndrive {
@@ -83,7 +84,24 @@ bool PageCache::fault_page(std::unique_lock<std::mutex>& lock,
     const std::uint64_t off = page_no * kPageSize;
     const std::uint32_t len = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kPageSize, dev_size - off));
-    ssd_.read_sync(off, len, scratch);
+    // Transient device errors (fault injection, real errno) retry a few
+    // times like the kernel's readpage path; a persistent failure surfaces
+    // as an exception the pipeline's error capture turns into a clean stop.
+    std::int32_t res = 0;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      res = ssd_.read_sync(off, len, scratch);
+      if (res >= 0) break;
+      if (telemetry_ != nullptr) {
+        telemetry_->count(FaultCounter::kIoErrors);
+        if (attempt < 3) telemetry_->count(FaultCounter::kIoRetries);
+      }
+    }
+    if (res < 0) {
+      lock.lock();
+      loading_.erase(page_no);
+      load_done_.notify_all();
+      throw std::runtime_error("PageCache: device read failed after retries");
+    }
   }
   lock.lock();
   loading_.erase(page_no);

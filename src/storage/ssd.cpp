@@ -1,13 +1,34 @@
 #include "storage/ssd.hpp"
 
+#include <cerrno>
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/logging.hpp"
 
 namespace gnndrive {
+
+namespace {
+/// Far-future completion time for injected stuck requests: practically
+/// "never", but safe for condition_variable::wait_until (TimePoint::max()
+/// overflows some implementations when a service delta is added).
+TimePoint stuck_deadline() {
+  return Clock::now() + std::chrono::hours(24 * 365);
+}
+
+/// Synchronous operations carry a watchdog of their own: a request that
+/// never completes (injected stuck, or a real device going away) is
+/// cancelled after this deadline and surfaces as -ETIMEDOUT instead of
+/// blocking the caller forever. Far above any modeled service time, spiked
+/// or queued, so it never fires on a healthy device.
+Duration sync_timeout(Duration service) {
+  return std::chrono::duration_cast<Duration>(service * 200) +
+         std::chrono::seconds(10);
+}
+}  // namespace
 
 FileBackend::FileBackend(const std::string& path, std::uint64_t size)
     : size_(size) {
@@ -21,29 +42,84 @@ FileBackend::~FileBackend() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void FileBackend::read(std::uint64_t offset, std::uint32_t len, void* dst) {
+std::int32_t FileBackend::read(std::uint64_t offset, std::uint32_t len,
+                               void* dst) {
   GD_CHECK(offset + len <= size_);
   auto* p = static_cast<std::uint8_t*>(dst);
   std::uint32_t done = 0;
   while (done < len) {
     const ssize_t n = ::pread(fd_, p + done, len - done,
                               static_cast<off_t>(offset + done));
-    GD_CHECK_MSG(n > 0, "FileBackend: pread failed");
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not an error: retry
+      GD_LOG_WARN("FileBackend: pread(%llu, %u) failed: errno=%d",
+                  static_cast<unsigned long long>(offset + done), len - done,
+                  errno);
+      return -errno;
+    }
+    if (n == 0) {
+      // Unexpected EOF inside the ftruncated extent: surface as I/O error.
+      GD_LOG_WARN("FileBackend: short pread at %llu (EOF)",
+                  static_cast<unsigned long long>(offset + done));
+      return -EIO;
+    }
     done += static_cast<std::uint32_t>(n);
   }
+  return 0;
 }
 
-void FileBackend::write(std::uint64_t offset, std::uint32_t len,
-                        const void* src) {
+std::int32_t FileBackend::write(std::uint64_t offset, std::uint32_t len,
+                                const void* src) {
   GD_CHECK(offset + len <= size_);
   const auto* p = static_cast<const std::uint8_t*>(src);
   std::uint32_t done = 0;
   while (done < len) {
     const ssize_t n = ::pwrite(fd_, p + done, len - done,
                                static_cast<off_t>(offset + done));
-    GD_CHECK_MSG(n > 0, "FileBackend: pwrite failed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      GD_LOG_WARN("FileBackend: pwrite(%llu, %u) failed: errno=%d",
+                  static_cast<unsigned long long>(offset + done), len - done,
+                  errno);
+      return -errno;
+    }
+    if (n == 0) {
+      GD_LOG_WARN("FileBackend: pwrite made no progress at %llu",
+                  static_cast<unsigned long long>(offset + done));
+      return -EIO;
+    }
     done += static_cast<std::uint32_t>(n);
   }
+  return 0;
+}
+
+FaultInjector::Decision FaultInjector::decide(bool is_read,
+                                              std::uint64_t offset,
+                                              std::uint32_t len) {
+  Decision d;
+  for (const auto& range : config_.bad_ranges) {
+    if (offset < range.end && offset + len > range.begin && is_read) {
+      d.res = -EIO;
+      return d;
+    }
+  }
+  // One RNG draw per knob keeps the sequence deterministic regardless of
+  // which faults actually fire.
+  const double u_eio = rng_.next_double();
+  const double u_stuck = rng_.next_double();
+  const double u_spike = rng_.next_double();
+  if (u_eio < config_.eio_probability) {
+    d.res = -EIO;
+    return d;
+  }
+  if (u_stuck < config_.stuck_probability) {
+    d.stuck = true;
+    return d;
+  }
+  if (u_spike < config_.spike_probability) {
+    d.latency_multiplier = config_.spike_multiplier;
+  }
+  return d;
 }
 
 SsdDevice::SsdDevice(SsdConfig config, std::shared_ptr<SsdBackend> backend)
@@ -72,21 +148,58 @@ Duration SsdDevice::service_time(Op op, std::uint32_t len) const {
   return from_us((base_us + transfer_us) * config_.time_scale);
 }
 
-void SsdDevice::submit(Op op, std::uint64_t offset, std::uint32_t len,
-                       void* buf, std::function<void()> on_complete) {
+void SsdDevice::set_fault_config(const SsdFaultConfig& config) {
+  std::lock_guard lock(mu_);
+  injector_ = config.enabled ? std::make_unique<FaultInjector>(config)
+                             : nullptr;
+}
+
+SsdFaultConfig SsdDevice::fault_config() const {
+  std::lock_guard lock(mu_);
+  return injector_ ? injector_->config() : SsdFaultConfig{};
+}
+
+std::uint64_t SsdDevice::submit(Op op, std::uint64_t offset, std::uint32_t len,
+                                void* buf, Completion on_complete) {
   GD_CHECK(offset + len <= backend_->size());
   const TimePoint now = Clock::now();
-  const Duration service = service_time(op, len);
+  Duration service = service_time(op, len);
+  std::uint64_t token;
   {
     std::lock_guard lock(mu_);
-    // Pick the channel that frees up earliest (c-server queue).
-    auto it = std::min_element(channel_free_.begin(), channel_free_.end());
-    const TimePoint start = std::max(now, *it);
-    const TimePoint done = start + service;
-    *it = done;
-    pending_.push(Pending{done, op, offset, len, buf, std::move(on_complete)});
-    ++in_flight_;
-    stats_.busy_seconds += to_seconds(service);
+    Pending req;
+    req.op = op;
+    req.offset = offset;
+    req.len = len;
+    req.buf = buf;
+    req.on_complete = std::move(on_complete);
+    token = req.token = next_token_++;
+    if (injector_) {
+      const auto d = injector_->decide(op == Op::kRead, offset, len);
+      req.injected_res = d.res;
+      req.stuck = d.stuck;
+      if (d.res < 0) {
+        ++stats_.injected_eio;
+      } else if (d.stuck) {
+        ++stats_.injected_stuck;
+      } else if (d.latency_multiplier > 1.0) {
+        ++stats_.injected_spikes;
+        service = std::chrono::duration_cast<Duration>(
+            service * d.latency_multiplier);
+      }
+    }
+    if (req.stuck) {
+      // Never scheduled for completion; occupies no channel (the modeled
+      // firmware lost it). Cancellation is the only way out.
+      req.done_at = stuck_deadline();
+    } else {
+      // Pick the channel that frees up earliest (c-server queue).
+      auto it = std::min_element(channel_free_.begin(), channel_free_.end());
+      const TimePoint start = std::max(now, *it);
+      req.done_at = start + service;
+      *it = req.done_at;
+      stats_.busy_seconds += to_seconds(service);
+    }
     if (op == Op::kRead) {
       ++stats_.reads;
       stats_.bytes_read += len;
@@ -94,35 +207,102 @@ void SsdDevice::submit(Op op, std::uint64_t offset, std::uint32_t len,
       ++stats_.writes;
       stats_.bytes_written += len;
     }
+    pending_.push(std::move(req));
+    ++in_flight_;
   }
   cv_.notify_one();
+  return token;
 }
 
-void SsdDevice::read_sync(std::uint64_t offset, std::uint32_t len, void* dst) {
+bool SsdDevice::try_cancel(std::uint64_t token) {
+  std::lock_guard lock(mu_);
+  if (token == 0 || token >= next_token_) return false;
+  if (cancelled_.count(token) != 0) return false;  // already cancelled
+  // Linear scan is not possible on the heap; instead mark for lazy deletion
+  // and verify the request is still pending by probing the heap contents via
+  // the in-flight bookkeeping: a completed request's token can no longer be
+  // in the heap. We track liveness implicitly — the device loop removes a
+  // request from the heap only at completion (lock held), so "pending" is
+  // exactly "not yet popped". A popped-but-not-yet-completed request cannot
+  // exist while we hold mu_ because the pop and the decision to complete
+  // happen under the same lock acquisition.
+  bool found = false;
+  {
+    // priority_queue has no iteration API; use the underlying container via
+    // a const reference trick. Pending order does not matter for the scan.
+    struct Opener : std::priority_queue<Pending, std::vector<Pending>,
+                                        std::greater<>> {
+      static const std::vector<Pending>& container(
+          const std::priority_queue<Pending, std::vector<Pending>,
+                                    std::greater<>>& q) {
+        return q.*&Opener::c;
+      }
+    };
+    for (const Pending& p : Opener::container(pending_)) {
+      if (p.token == token) {
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) return false;
+  cancelled_.insert(token);
+  ++stats_.cancelled;
+  --in_flight_;
+  if (in_flight_ == 0) drained_.notify_all();
+  cv_.notify_one();
+  return true;
+}
+
+std::int32_t SsdDevice::read_sync(std::uint64_t offset, std::uint32_t len,
+                                  void* dst) {
   std::mutex m;
   std::condition_variable done_cv;
   bool done = false;
-  submit(Op::kRead, offset, len, dst, [&] {
-    std::lock_guard lk(m);
-    done = true;
-    done_cv.notify_one();
-  });
+  std::int32_t result = 0;
+  const std::uint64_t token =
+      submit(Op::kRead, offset, len, dst, [&](std::int32_t res) {
+        std::lock_guard lk(m);
+        done = true;
+        result = res;
+        done_cv.notify_one();
+      });
+  const Duration timeout = sync_timeout(service_time(Op::kRead, len));
   std::unique_lock lk(m);
-  done_cv.wait(lk, [&] { return done; });
+  if (!done_cv.wait_for(lk, timeout, [&] { return done; })) {
+    lk.unlock();
+    // Cancelled: the completion will never run and dst is never written.
+    if (try_cancel(token)) return -ETIMEDOUT;
+    // The request beat the cancel and is completing right now.
+    lk.lock();
+    done_cv.wait(lk, [&] { return done; });
+  }
+  return result;
 }
 
-void SsdDevice::write_sync(std::uint64_t offset, std::uint32_t len,
-                           const void* src) {
+std::int32_t SsdDevice::write_sync(std::uint64_t offset, std::uint32_t len,
+                                   const void* src) {
   std::mutex m;
   std::condition_variable done_cv;
   bool done = false;
-  submit(Op::kWrite, offset, len, const_cast<void*>(src), [&] {
-    std::lock_guard lk(m);
-    done = true;
-    done_cv.notify_one();
-  });
+  std::int32_t result = 0;
+  const std::uint64_t token =
+      submit(Op::kWrite, offset, len, const_cast<void*>(src),
+             [&](std::int32_t res) {
+               std::lock_guard lk(m);
+               done = true;
+               result = res;
+               done_cv.notify_one();
+             });
+  const Duration timeout = sync_timeout(service_time(Op::kWrite, len));
   std::unique_lock lk(m);
-  done_cv.wait(lk, [&] { return done; });
+  if (!done_cv.wait_for(lk, timeout, [&] { return done; })) {
+    lk.unlock();
+    if (try_cancel(token)) return -ETIMEDOUT;
+    lk.lock();
+    done_cv.wait(lk, [&] { return done; });
+  }
+  return result;
 }
 
 void SsdDevice::drain() {
@@ -143,12 +323,27 @@ void SsdDevice::reset_stats() {
 void SsdDevice::device_loop() {
   std::unique_lock lock(mu_);
   for (;;) {
+    // Discard cancelled requests eagerly so they neither delay the heap top
+    // nor keep the loop alive at shutdown.
+    while (!pending_.empty() &&
+           cancelled_.count(pending_.top().token) != 0) {
+      cancelled_.erase(pending_.top().token);
+      pending_.pop();
+    }
     if (pending_.empty()) {
       if (stop_) return;
       cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
       continue;
     }
     const TimePoint due = pending_.top().done_at;
+    if (stop_ && pending_.top().stuck) {
+      // Shutdown with an uncancelled stuck request: abandon it (its
+      // completion never runs) instead of blocking destruction for a year.
+      pending_.pop();
+      --in_flight_;
+      if (in_flight_ == 0) drained_.notify_all();
+      continue;
+    }
     if (Clock::now() < due) {
       cv_.wait_until(lock, due);
       continue;
@@ -158,12 +353,14 @@ void SsdDevice::device_loop() {
     Pending req = std::move(const_cast<Pending&>(pending_.top()));
     pending_.pop();
     lock.unlock();
-    if (req.op == Op::kRead) {
-      backend_->read(req.offset, req.len, req.buf);
-    } else {
-      backend_->write(req.offset, req.len, req.buf);
+    std::int32_t res = req.injected_res;
+    if (res == 0) {
+      res = req.op == Op::kRead ? backend_->read(req.offset, req.len, req.buf)
+                                : backend_->write(req.offset, req.len, req.buf);
     }
-    if (req.on_complete) req.on_complete();
+    const std::int32_t cqe_res =
+        res < 0 ? res : static_cast<std::int32_t>(req.len);
+    if (req.on_complete) req.on_complete(cqe_res);
     lock.lock();
     --in_flight_;
     if (in_flight_ == 0) drained_.notify_all();

@@ -15,6 +15,12 @@
 //
 // Data is held by a backend (RAM image by default; a real file optionally),
 // so reads return real bytes and extraction correctness is testable.
+//
+// Fault model: an optional seeded FaultInjector perturbs requests at submit
+// time — per-request EIO, latency spikes, stuck requests (never complete
+// until cancelled) and targeted bad-sector ranges. Completions carry a
+// result code (bytes transferred or -errno) so callers see failures instead
+// of asserting; see DESIGN.md "Fault model & recovery".
 #pragma once
 
 #include <condition_variable>
@@ -24,19 +30,24 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/rng.hpp"
 
 namespace gnndrive {
 
-/// Storage for the simulated drive's contents.
+/// Storage for the simulated drive's contents. read/write return 0 on
+/// success or a negative errno (e.g. -EIO) on failure; partial transfers
+/// are handled inside the backend.
 class SsdBackend {
  public:
   virtual ~SsdBackend() = default;
-  virtual void read(std::uint64_t offset, std::uint32_t len, void* dst) = 0;
-  virtual void write(std::uint64_t offset, std::uint32_t len,
-                     const void* src) = 0;
+  virtual std::int32_t read(std::uint64_t offset, std::uint32_t len,
+                            void* dst) = 0;
+  virtual std::int32_t write(std::uint64_t offset, std::uint32_t len,
+                             const void* src) = 0;
   virtual std::uint64_t size() const = 0;
 };
 
@@ -44,14 +55,17 @@ class SsdBackend {
 class MemBackend final : public SsdBackend {
  public:
   explicit MemBackend(std::uint64_t size) : data_(size) {}
-  void read(std::uint64_t offset, std::uint32_t len, void* dst) override {
+  std::int32_t read(std::uint64_t offset, std::uint32_t len,
+                    void* dst) override {
     GD_CHECK(offset + len <= data_.size());
     std::memcpy(dst, data_.data() + offset, len);
+    return 0;
   }
-  void write(std::uint64_t offset, std::uint32_t len,
-             const void* src) override {
+  std::int32_t write(std::uint64_t offset, std::uint32_t len,
+                     const void* src) override {
     GD_CHECK(offset + len <= data_.size());
     std::memcpy(data_.data() + offset, src, len);
+    return 0;
   }
   std::uint64_t size() const override { return data_.size(); }
   /// Direct access for cheap dataset initialization (bypasses the device
@@ -63,14 +77,17 @@ class MemBackend final : public SsdBackend {
 };
 
 /// Real-file backend: pread/pwrite against a file on the host filesystem.
+/// Short transfers are looped, EINTR is retried, and real errno failures
+/// surface as negative return values instead of aborting the process.
 class FileBackend final : public SsdBackend {
  public:
   /// Creates (or truncates) `path` with `size` bytes.
   FileBackend(const std::string& path, std::uint64_t size);
   ~FileBackend() override;
-  void read(std::uint64_t offset, std::uint32_t len, void* dst) override;
-  void write(std::uint64_t offset, std::uint32_t len,
-             const void* src) override;
+  std::int32_t read(std::uint64_t offset, std::uint32_t len,
+                    void* dst) override;
+  std::int32_t write(std::uint64_t offset, std::uint32_t len,
+                     const void* src) override;
   std::uint64_t size() const override { return size_; }
 
  private:
@@ -86,33 +103,100 @@ struct SsdConfig {
   double time_scale = 1.0;          ///< Multiplier on all service times.
 };
 
+/// Fault-injection knobs. Disabled by default; the device takes no extra
+/// locked work per request while `enabled` is false. Deterministic per seed:
+/// the same request sequence produces the same fault sequence.
+struct SsdFaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0xfa417ULL;
+  double eio_probability = 0.0;    ///< per-request chance of -EIO
+  double spike_probability = 0.0;  ///< per-request chance of a latency spike
+  double spike_multiplier = 20.0;  ///< service-time multiplier for spikes
+  double stuck_probability = 0.0;  ///< request never completes (until cancel)
+  struct Range {
+    std::uint64_t begin = 0;  ///< byte offset, inclusive
+    std::uint64_t end = 0;    ///< byte offset, exclusive
+  };
+  /// Requests intersecting any range fail with -EIO deterministically,
+  /// regardless of eio_probability (media errors pinned to an address).
+  std::vector<Range> bad_ranges;
+};
+
 struct SsdStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   double busy_seconds = 0.0;  ///< Sum of per-channel service time.
+  // Fault-injection accounting (all zero when the injector is off).
+  std::uint64_t injected_eio = 0;    ///< requests failed with -EIO
+  std::uint64_t injected_spikes = 0; ///< requests given a latency spike
+  std::uint64_t injected_stuck = 0;  ///< requests that will never complete
+  std::uint64_t cancelled = 0;       ///< requests removed via try_cancel
+};
+
+/// Seeded, deterministic per-request fault decision maker. Owned by the
+/// device; callers configure it through SsdDevice::set_fault_config.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const SsdFaultConfig& config)
+      : config_(config), rng_(splitmix64(config.seed)) {}
+
+  struct Decision {
+    std::int32_t res = 0;            ///< 0 ok; -EIO for injected failures
+    double latency_multiplier = 1.0; ///< >1 for injected spikes
+    bool stuck = false;              ///< request never completes
+  };
+  /// One decision per request; advances the RNG deterministically.
+  Decision decide(bool is_read, std::uint64_t offset, std::uint32_t len);
+
+  const SsdFaultConfig& config() const { return config_; }
+
+ private:
+  SsdFaultConfig config_;
+  Rng rng_;
 };
 
 class SsdDevice : NonCopyable {
  public:
   enum class Op { kRead, kWrite };
 
+  /// Completion callback: res >= 0 is bytes transferred, res < 0 is -errno.
+  using Completion = std::function<void(std::int32_t res)>;
+
   SsdDevice(SsdConfig config, std::shared_ptr<SsdBackend> backend);
   ~SsdDevice();
 
   /// Submits an asynchronous request. `on_complete` runs on the device thread
   /// after the modeled service time elapses and the data movement happened;
-  /// it must be cheap and must not call back into the device.
-  void submit(Op op, std::uint64_t offset, std::uint32_t len, void* buf,
-              std::function<void()> on_complete);
+  /// it must be cheap and must not call back into the device. Returns a
+  /// token usable with try_cancel().
+  std::uint64_t submit(Op op, std::uint64_t offset, std::uint32_t len,
+                       void* buf, Completion on_complete);
+
+  /// Cancels a submitted-but-not-yet-completed request. Returns true when
+  /// the request was still pending: its buffer will never be touched and its
+  /// completion will never run (the caller owns synthesizing an error).
+  /// Returns false when the request already completed or is completing.
+  bool try_cancel(std::uint64_t token);
 
   /// Convenience synchronous operations (submit + block until completion).
-  void read_sync(std::uint64_t offset, std::uint32_t len, void* dst);
-  void write_sync(std::uint64_t offset, std::uint32_t len, const void* src);
+  /// Return bytes transferred or -errno. A request that never completes
+  /// (injected stuck) is self-cancelled after a generous deadline and
+  /// returns -ETIMEDOUT, so synchronous callers cannot hang forever either.
+  std::int32_t read_sync(std::uint64_t offset, std::uint32_t len, void* dst);
+  std::int32_t write_sync(std::uint64_t offset, std::uint32_t len,
+                          const void* src);
 
-  /// Blocks until every submitted request has completed.
+  /// Blocks until every submitted request has completed or been cancelled.
+  /// Note: an injected *stuck* request counts as outstanding until a caller
+  /// cancels it.
   void drain();
+
+  /// Installs (enabled) or removes (disabled) the fault injector. Runtime
+  /// togglable; takes effect for subsequently submitted requests.
+  void set_fault_config(const SsdFaultConfig& config);
+  SsdFaultConfig fault_config() const;
 
   const SsdConfig& config() const { return config_; }
   SsdBackend& backend() { return *backend_; }
@@ -129,7 +213,10 @@ class SsdDevice : NonCopyable {
     std::uint64_t offset;
     std::uint32_t len;
     void* buf;
-    std::function<void()> on_complete;
+    Completion on_complete;
+    std::uint64_t token = 0;
+    std::int32_t injected_res = 0;  ///< <0: fail without data movement
+    bool stuck = false;
     bool operator>(const Pending& other) const {
       return done_at > other.done_at;
     }
@@ -144,10 +231,13 @@ class SsdDevice : NonCopyable {
   std::condition_variable cv_;
   std::condition_variable drained_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;  ///< lazy heap deletion
   std::vector<TimePoint> channel_free_;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_token_ = 1;
   bool stop_ = false;
   SsdStats stats_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null when faults are off
   std::thread device_thread_;
 };
 

@@ -34,6 +34,18 @@ class BoundedQueue : NonCopyable {
     return true;
   }
 
+  /// Like push(), but hands the item back instead of dropping it when the
+  /// queue is closed, so the caller can dispose of it (e.g. release feature
+  /// references during an epoch abort). nullopt means the push succeeded.
+  std::optional<T> push_or_reclaim(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return std::optional<T>(std::move(item));
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return std::nullopt;
+  }
+
   /// Blocks until an item is available. Empty optional means closed & drained.
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
@@ -65,9 +77,18 @@ class BoundedQueue : NonCopyable {
   }
 
   /// Re-arms a closed queue for reuse (e.g. the next training epoch).
+  /// Concurrency: a push/pop racing with a close()/reopen() pair either
+  /// observes the closed window (push returns false / pop drains to nullopt)
+  /// or completes normally — items are never lost or duplicated either way.
+  /// Waiters are re-notified so anyone who slept through the window
+  /// re-evaluates against the reopened state instead of blocking forever.
   void reopen() {
-    std::lock_guard lock(mu_);
-    closed_ = false;
+    {
+      std::lock_guard lock(mu_);
+      closed_ = false;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   std::size_t size() const {

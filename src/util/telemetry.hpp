@@ -23,6 +23,16 @@ enum class TraceCat : int {
   kCount = 3,
 };
 
+/// Monotonic event counters for the fault-tolerance layer, so benches can
+/// print fault-mode summaries next to the utilization series.
+enum class FaultCounter : int {
+  kIoErrors = 0,      ///< error CQEs observed by ring consumers
+  kIoRetries = 1,     ///< reads re-submitted after a transient failure
+  kIoTimeouts = 2,    ///< requests cancelled by a stage watchdog
+  kFailedBatches = 3, ///< mini-batches abandoned after exhausting retries
+  kCount = 4,
+};
+
 /// One activity trace. Not a singleton: each experiment owns one and wires it
 /// into the components it wants profiled. Thread-safe via atomics.
 class Telemetry {
@@ -52,6 +62,14 @@ class Telemetry {
   /// Total seconds recorded per category (for summary ratios).
   double total_seconds(TraceCat cat) const;
 
+  /// Fault/retry/timeout counters (independent of start(); always active).
+  void count(FaultCounter c, std::uint64_t n = 1) {
+    counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t counter(FaultCounter c) const {
+    return counters_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+
  private:
   const double bucket_ms_;
   std::atomic<bool> started_{false};
@@ -59,6 +77,8 @@ class Telemetry {
   std::atomic<std::size_t> hi_bucket_{0};
   // nanoseconds per (bucket, category)
   std::vector<std::array<std::atomic<std::uint64_t>, 3>> cells_;
+  std::array<std::atomic<std::uint64_t>, static_cast<int>(FaultCounter::kCount)>
+      counters_{};
 };
 
 /// Thread-local accumulator of I/O-wait seconds, so compute scopes can

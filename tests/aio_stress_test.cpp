@@ -140,7 +140,8 @@ TEST(AioStress, DeviceDrainWaitsForEverything) {
   std::vector<std::uint8_t> bufs(64 * kSectorSize);
   for (int i = 0; i < 64; ++i) {
     ssd.submit(SsdDevice::Op::kRead, (i % 256) * kSectorSize, kSectorSize,
-               bufs.data() + i * kSectorSize, [&] { ++completed; });
+               bufs.data() + i * kSectorSize,
+               [&](std::int32_t) { ++completed; });
   }
   ssd.drain();
   EXPECT_EQ(completed.load(), 64);

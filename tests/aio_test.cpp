@@ -2,8 +2,10 @@
 // buffered-mode page-cache interaction.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstring>
 #include <set>
+#include <stdexcept>
 
 #include "aio/io_ring.hpp"
 #include "util/rng.hpp"
@@ -150,6 +152,89 @@ TEST_F(RingFixture, BufferedAllowsUnalignedAccess) {
   ring.submit();
   EXPECT_EQ(ring.wait_cqe().res, 100);
   EXPECT_EQ(std::memcmp(buf, image->raw() + 37, 100), 0);
+}
+
+TEST_F(RingFixture, MisalignedDirectReadNeverTouchesDevice) {
+  IoRing ring(*ssd, {.queue_depth = 8, .direct = true});
+  const auto reads_before = ssd->stats().reads;
+  std::uint8_t buf[512];
+  ring.prep_read(100, 512, buf, 9);  // unaligned offset
+  ring.submit();
+  EXPECT_EQ(ring.wait_cqe().res, -EINVAL);
+  EXPECT_EQ(ssd->stats().reads, reads_before);  // rejected before submission
+}
+
+TEST_F(RingFixture, BufferedWithoutCacheIsAConstructorError) {
+  EXPECT_THROW(IoRing(*ssd, {.queue_depth = 8, .direct = false}, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(RingFixture, InjectedEioReachesWaitCqe) {
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.eio_probability = 1.0;
+  ssd->set_fault_config(faults);
+  IoRing ring(*ssd, {.queue_depth = 8, .direct = true});
+  std::uint8_t buf[512];
+  std::memset(buf, 0x5A, sizeof(buf));
+  ring.prep_read(0, 512, buf, 77);
+  ring.submit();
+  const Cqe cqe = ring.wait_cqe();
+  EXPECT_EQ(cqe.user_data, 77u);
+  EXPECT_EQ(cqe.res, -EIO);
+  for (unsigned char b : buf) EXPECT_EQ(b, 0x5A);  // buffer untouched
+  EXPECT_EQ(ring.in_flight(), 0u);
+}
+
+TEST_F(RingFixture, WaitCqeForTimesOutThenDelivers) {
+  IoRing ring(*ssd, {.queue_depth = 8, .direct = true});
+  // Nothing in flight: the bounded wait returns empty.
+  EXPECT_FALSE(ring.wait_cqe_for(from_us(200.0)).has_value());
+  std::uint8_t buf[512];
+  ring.prep_read(0, 512, buf, 3);
+  ring.submit();
+  std::optional<Cqe> cqe;
+  for (int i = 0; i < 1000 && !cqe; ++i) cqe = ring.wait_cqe_for(from_us(500.0));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->user_data, 3u);
+  EXPECT_EQ(cqe->res, 512);
+}
+
+TEST_F(RingFixture, WatchdogCancelsStuckRequestWithTimeout) {
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.stuck_probability = 1.0;
+  ssd->set_fault_config(faults);
+  IoRing ring(*ssd, {.queue_depth = 8, .direct = true});
+  std::uint8_t buf[512];
+  std::memset(buf, 0x6B, sizeof(buf));
+  ring.prep_read(0, 512, buf, 11);
+  ring.submit();
+  const Duration req_timeout = from_us(2000.0);
+  std::optional<Cqe> cqe;
+  // Watchdog loop exactly as the extract stage runs it: bounded wait, then
+  // an expiry sweep. The stuck request must surface as -ETIMEDOUT well
+  // within a bounded number of polls.
+  for (int i = 0; i < 100 && !cqe; ++i) {
+    cqe = ring.wait_cqe_for(from_us(500.0));
+    if (!cqe) ring.cancel_expired(req_timeout);
+  }
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->user_data, 11u);
+  EXPECT_EQ(cqe->res, -ETIMEDOUT);
+  for (unsigned char b : buf) EXPECT_EQ(b, 0x6B);  // cancelled => untouched
+  EXPECT_EQ(ring.in_flight(), 0u);
+  EXPECT_EQ(ssd->stats().cancelled, 1u);
+}
+
+TEST_F(RingFixture, CancelExpiredLeavesFreshRequestsAlone) {
+  IoRing ring(*ssd, {.queue_depth = 8, .direct = true});
+  std::uint8_t buf[512];
+  ring.prep_read(0, 512, buf, 21);
+  ring.submit();
+  // A generous timeout must not cancel a request that was just submitted.
+  EXPECT_EQ(ring.cancel_expired(from_us(1e6)), 0u);
+  EXPECT_EQ(ring.wait_cqe().res, 512);
 }
 
 TEST_F(RingFixture, WriteRoundTrip) {

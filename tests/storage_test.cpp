@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "storage/ssd.hpp"
 #include "util/rng.hpp"
@@ -68,7 +70,7 @@ TEST(Ssd, ChannelsOverlapIndependentRequests) {
   const TimePoint t0 = Clock::now();
   for (int i = 0; i < 8; ++i) {
     ssd.submit(SsdDevice::Op::kRead, i * 4096, 512, bufs.data() + i * 512,
-               [&] { ++done; });
+               [&](std::int32_t) { ++done; });
   }
   ssd.drain();
   const double elapsed = to_seconds(Clock::now() - t0);
@@ -148,6 +150,138 @@ TEST(FileBackend, WorksUnderDeviceModel) {
   std::uint8_t readback[512];
   ssd.read_sync(0, 512, readback);
   EXPECT_EQ(std::memcmp(data, readback, 512), 0);
+}
+
+TEST(FileBackend, SuccessReturnsZeroAndPartialOffsetsWork) {
+  const std::string path = ::testing::TempDir() + "/gnndrive_fileerr.bin";
+  auto backend = std::make_shared<FileBackend>(path, 1 << 16);
+  std::uint8_t data[777];
+  for (int i = 0; i < 777; ++i) data[i] = static_cast<std::uint8_t>(i * 13);
+  // Odd sizes/offsets exercise the short-transfer loop boundaries.
+  EXPECT_EQ(backend->write(123, 777, data), 0);
+  std::uint8_t readback[777] = {};
+  EXPECT_EQ(backend->read(123, 777, readback), 0);
+  EXPECT_EQ(std::memcmp(data, readback, 777), 0);
+}
+
+// -- Fault injection ----------------------------------------------------------
+
+TEST(SsdFaults, CertainEioFailsWithoutDataMovement) {
+  auto image = make_image(1 << 16);
+  SsdDevice ssd(fast_cfg(), image);
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.eio_probability = 1.0;
+  ssd.set_fault_config(faults);
+
+  std::uint8_t buf[512];
+  std::memset(buf, 0xCD, sizeof(buf));
+  EXPECT_EQ(ssd.read_sync(0, 512, buf), -EIO);
+  // An injected failure never touches the caller's buffer.
+  for (unsigned char b : buf) EXPECT_EQ(b, 0xCD);
+  EXPECT_EQ(ssd.stats().injected_eio, 1u);
+
+  // Runtime toggle: disabling restores normal service.
+  ssd.set_fault_config(SsdFaultConfig{});
+  EXPECT_EQ(ssd.read_sync(0, 512, buf), 512);
+  EXPECT_EQ(std::memcmp(buf, image->raw(), 512), 0);
+}
+
+TEST(SsdFaults, BadRangesFailReadsDeterministically) {
+  auto image = make_image(1 << 16);
+  SsdDevice ssd(fast_cfg(), image);
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.bad_ranges.push_back({4096, 8192});
+  ssd.set_fault_config(faults);
+
+  std::uint8_t buf[512];
+  // Fully inside, straddling the edge, and clean reads.
+  EXPECT_EQ(ssd.read_sync(4096, 512, buf), -EIO);
+  EXPECT_EQ(ssd.read_sync(8192 - 256, 512, buf), -EIO);
+  EXPECT_EQ(ssd.read_sync(0, 512, buf), 512);
+  EXPECT_EQ(ssd.read_sync(8192, 512, buf), 512);
+  EXPECT_EQ(ssd.stats().injected_eio, 2u);
+}
+
+TEST(SsdFaults, LatencySpikesSlowButSucceed) {
+  SsdConfig cfg = fast_cfg();
+  cfg.read_latency_us = 300.0;
+  auto image = make_image(1 << 16);
+  SsdDevice ssd(cfg, image);
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.spike_probability = 1.0;
+  faults.spike_multiplier = 5.0;
+  ssd.set_fault_config(faults);
+
+  std::uint8_t buf[512];
+  const TimePoint t0 = Clock::now();
+  EXPECT_EQ(ssd.read_sync(0, 512, buf), 512);
+  const double elapsed = to_seconds(Clock::now() - t0);
+  EXPECT_GE(elapsed, 2 * 300e-6);  // well beyond the un-spiked service time
+  EXPECT_EQ(std::memcmp(buf, image->raw(), 512), 0);
+  EXPECT_EQ(ssd.stats().injected_spikes, 1u);
+}
+
+TEST(SsdFaults, StuckRequestNeverCompletesUntilCancelled) {
+  auto image = make_image(1 << 16);
+  SsdDevice ssd(fast_cfg(), image);
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.stuck_probability = 1.0;
+  ssd.set_fault_config(faults);
+
+  std::uint8_t buf[512];
+  std::memset(buf, 0xEE, sizeof(buf));
+  std::atomic<int> completions{0};
+  const std::uint64_t token =
+      ssd.submit(SsdDevice::Op::kRead, 0, 512, buf,
+                 [&](std::int32_t) { ++completions; });
+  std::this_thread::sleep_for(from_us(5000.0));
+  EXPECT_EQ(completions.load(), 0);  // far past normal service time
+  EXPECT_TRUE(ssd.try_cancel(token));
+  ssd.drain();  // returns: the cancelled request no longer counts
+  EXPECT_EQ(completions.load(), 0);  // cancelled => callback never runs
+  for (unsigned char b : buf) EXPECT_EQ(b, 0xEE);  // buffer never touched
+  const SsdStats stats = ssd.stats();
+  EXPECT_EQ(stats.injected_stuck, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
+TEST(SsdFaults, TryCancelFailsAfterCompletion) {
+  auto image = make_image(1 << 16);
+  SsdDevice ssd(fast_cfg(), image);
+  std::uint8_t buf[512];
+  std::atomic<int> completions{0};
+  const std::uint64_t token =
+      ssd.submit(SsdDevice::Op::kRead, 0, 512, buf,
+                 [&](std::int32_t res) {
+                   EXPECT_EQ(res, 512);
+                   ++completions;
+                 });
+  ssd.drain();
+  EXPECT_EQ(completions.load(), 1);
+  EXPECT_FALSE(ssd.try_cancel(token));
+  EXPECT_EQ(ssd.stats().cancelled, 0u);
+}
+
+TEST(SsdFaults, InjectorIsDeterministicPerSeed) {
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 1234;
+  faults.eio_probability = 0.3;
+  faults.spike_probability = 0.2;
+  faults.stuck_probability = 0.1;
+  FaultInjector a(faults);
+  FaultInjector b(faults);
+  for (int i = 0; i < 1000; ++i) {
+    const auto da = a.decide(true, i * 512u, 512);
+    const auto db = b.decide(true, i * 512u, 512);
+    EXPECT_EQ(da.res, db.res);
+    EXPECT_EQ(da.stuck, db.stuck);
+    EXPECT_DOUBLE_EQ(da.latency_multiplier, db.latency_multiplier);
+  }
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 // telemetry bucketing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "util/lru.hpp"
 #include "util/queue.hpp"
@@ -88,6 +90,92 @@ TEST(BoundedQueue, ManyProducersManyConsumers) {
   const long n = kProducers * kPerProducer;
   EXPECT_EQ(count.load(), n);
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueue, PushOrReclaimReturnsItemWhenClosed) {
+  BoundedQueue<std::vector<int>> q(2);
+  EXPECT_FALSE(q.push_or_reclaim({1, 2, 3}).has_value());  // accepted
+  q.close();
+  const auto back = q.push_or_reclaim({4, 5});
+  ASSERT_TRUE(back.has_value());  // handed back, not dropped
+  EXPECT_EQ(*back, (std::vector<int>{4, 5}));
+  EXPECT_EQ(q.pop().value(), (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseReopenHammerLosesNothing) {
+  // 2 producers + 2 consumers race against repeated close()/reopen() cycles.
+  // Invariant: an item is either rejected at push (push returned false) or
+  // it comes out of a pop exactly once — never lost, never duplicated.
+  BoundedQueue<int> q(4);
+  constexpr int kPerProducer = 2000;
+  std::vector<std::vector<int>> pushed(2), popped(2);
+  std::atomic<bool> producers_done{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i;
+        // Retry across closed windows; record only accepted pushes.
+        while (!q.push(v)) std::this_thread::yield();
+        pushed[p].push_back(v);
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&, c] {
+      for (;;) {
+        if (auto v = q.try_pop()) {
+          popped[c].push_back(*v);
+        } else if (producers_done.load() && q.size() == 0) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // The hammer: flip the queue closed and open while traffic flows.
+  std::thread hammer([&] {
+    while (!producers_done.load()) {
+      q.close();
+      std::this_thread::yield();
+      q.reopen();
+      std::this_thread::yield();
+    }
+    q.reopen();  // leave it open so stragglers drain
+  });
+  threads[0].join();
+  threads[1].join();
+  producers_done = true;
+  hammer.join();
+  threads[2].join();
+  threads[3].join();
+
+  std::vector<int> in, out;
+  for (const auto& v : pushed) in.insert(in.end(), v.begin(), v.end());
+  for (const auto& v : popped) out.insert(out.end(), v.begin(), v.end());
+  std::sort(in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(in.size(), 2u * kPerProducer);  // every item eventually accepted
+  EXPECT_EQ(out, in);                       // multiset equality: no loss/dup
+}
+
+TEST(BoundedQueue, ReopenWakesSleepingProducer) {
+  // A producer blocked on a full queue must re-evaluate after close/reopen
+  // instead of sleeping forever (reopen() notifies all waiters).
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result = q.push(2) ? 1 : 0; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // saw the closed window
+  q.reopen();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 3);
 }
 
 TEST(IndexedLru, PushPopOrder) {
