@@ -36,6 +36,7 @@ Env make_env(const Dataset& dataset, double mem_gb, const SsdConfig& ssd_cfg,
   env.mem = std::make_unique<HostMemory>(paper_gb(mem_gb));
   env.telemetry =
       with_telemetry ? std::make_unique<Telemetry>(100.0) : nullptr;
+  env.ssd->set_telemetry(env.telemetry.get());
   env.cache = std::make_unique<PageCache>(*env.mem, *env.ssd,
                                           env.telemetry.get());
   env.ctx = RunContext{&dataset, env.ssd.get(), env.mem.get(),

@@ -20,7 +20,8 @@ void trace_variant(const char* sys_name) {
   auto system = make_system(sys_name, env, common_config(ModelKind::kSage));
   system->run_epoch(1000);  // warm-up, untraced
   env.telemetry->start();
-  for (int e = 0; e < 3; ++e) system->run_epoch(e);
+  EpochStats last;
+  for (int e = 0; e < 3; ++e) last = system->run_epoch(e);
   std::printf("--- %s (3 epochs, 100 ms buckets) ---\n", sys_name);
   std::printf("%8s %8s %8s %8s\n", "t(s)", "cpu%", "gpu%", "iowait%");
   const auto buckets = env.telemetry->snapshot();
@@ -38,8 +39,10 @@ void trace_variant(const char* sys_name) {
   const double gpu = env.telemetry->total_seconds(TraceCat::kGpuBusy);
   const double io = env.telemetry->total_seconds(TraceCat::kIoWait);
   std::printf("summary: cpu-busy %.1fs, gpu-busy %.1fs, io-wait %.1fs "
-              "(io-wait : cpu-busy = %.1f)\n\n",
+              "(io-wait : cpu-busy = %.1f)\n",
               cpu, gpu, io, io / std::max(cpu, 1e-9));
+  std::printf("last-epoch stage latencies / queues / feature buffer:\n%s\n",
+              last.obs.format().c_str());
   std::fflush(stdout);
 }
 

@@ -5,6 +5,23 @@
 #            fault-injection smoke mode: instead of the bench sweep, runs the
 #            fault-tolerance soak suite (injected EIOs, latency spikes, stuck
 #            requests, bad sectors) against the full pipeline.
+#        ./run_benches.sh --trace [trace-json] [output-file]
+#            observability mode: runs one traced GNNDrive epoch, writes a
+#            Perfetto-loadable Chrome trace (default trace.json) plus the
+#            metrics/latency summary (see docs/observability.md).
+if [ "$1" = "--trace" ]; then
+  shift
+  TRACE="${1:-trace.json}"
+  OUT="${2:-trace_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ pipeline trace export ($TRACE) ############"
+    timeout 580 build/bench/trace_pipeline "$TRACE" 2>&1
+    echo "[exit=$?]"
+    echo TRACE_EXPORT_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--faults" ]; then
   shift
   OUT="${1:-fault_smoke_output.txt}"

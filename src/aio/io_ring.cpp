@@ -2,7 +2,10 @@
 
 #include <cerrno>
 
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace gnndrive {
 
@@ -15,6 +18,12 @@ IoRing::IoRing(SsdDevice& ssd, IoRingConfig config, PageCache* cache,
     throw std::invalid_argument("buffered IoRing requires a page cache");
   }
   staged_.reserve(config_.queue_depth);
+  if (telemetry_ != nullptr) {
+    MetricsRegistry& reg = *telemetry_->metrics();
+    m_submitted_ = &reg.counter("io.submitted");
+    m_latency_ = &reg.histogram("io.request_us");
+    m_inflight_ = &reg.gauge("io.inflight");
+  }
 }
 
 IoRing::~IoRing() {
@@ -40,16 +49,24 @@ bool IoRing::prep_write(std::uint64_t offset, std::uint32_t len,
 
 void IoRing::complete(std::uint64_t ring_id, std::int32_t res) {
   std::uint64_t user_data;
+  TimePoint submitted_at;
   {
     std::lock_guard lock(mu_);
     auto it = inflight_.find(ring_id);
     if (it == inflight_.end()) return;  // cancelled by the watchdog
     user_data = it->second.user_data;
+    submitted_at = it->second.submitted_at;
     inflight_.erase(it);
     cq_.push_back(Cqe{user_data, res});
     --in_flight_;
     if (in_flight_ == 0) all_done_.notify_all();
   }
+  if (m_latency_ != nullptr) {
+    m_latency_->add_us(
+        std::chrono::duration<double, std::micro>(Clock::now() - submitted_at)
+            .count());
+  }
+  if (m_inflight_ != nullptr) m_inflight_->sub(1);
   if (res < 0 && telemetry_ != nullptr) {
     telemetry_->count(FaultCounter::kIoErrors);
   }
@@ -100,6 +117,10 @@ unsigned IoRing::submit() {
     std::lock_guard lock(mu_);
     in_flight_ += n;
   }
+  if (n > 0) {
+    if (m_submitted_ != nullptr) m_submitted_->add(n);
+    if (m_inflight_ != nullptr) m_inflight_->add(n);
+  }
   for (const Sqe& sqe : staged_) submit_one(sqe);
   staged_.clear();
   return n;
@@ -122,15 +143,24 @@ unsigned IoRing::cancel_expired(Duration timeout) {
   unsigned cancelled = 0;
   for (const auto& [ring_id, token] : candidates) {
     if (!ssd_.try_cancel(token)) continue;  // completing; CQE will arrive
+    TimePoint submitted_at;
     {
       std::lock_guard lock(mu_);
       auto it = inflight_.find(ring_id);
       if (it == inflight_.end()) continue;  // raced with completion
+      submitted_at = it->second.submitted_at;
       cq_.push_back(Cqe{it->second.user_data, -ETIMEDOUT});
       inflight_.erase(it);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
+    if (m_latency_ != nullptr) {
+      m_latency_->add_us(
+          std::chrono::duration<double, std::micro>(Clock::now() -
+                                                    submitted_at)
+              .count());
+    }
+    if (m_inflight_ != nullptr) m_inflight_->sub(1);
     ++cancelled;
     if (telemetry_ != nullptr) {
       telemetry_->count(FaultCounter::kIoTimeouts);

@@ -37,6 +37,10 @@
 
 namespace gnndrive {
 
+class Counter;
+class ConcurrentHistogram;
+class Gauge;
+
 struct Cqe {
   std::uint64_t user_data = 0;
   std::int32_t res = 0;  ///< >=0: bytes transferred; <0: -errno.
@@ -119,6 +123,13 @@ class IoRing : NonCopyable {
   std::unordered_map<std::uint64_t, InFlight> inflight_;  ///< by ring id
   std::uint64_t next_ring_id_ = 1;
   unsigned in_flight_ = 0;
+
+  // Observability (resolved from telemetry's registry; null without it).
+  // Multiple rings share the instruments: counters/histograms aggregate,
+  // the in-flight gauge is updated with deltas so it sums across rings.
+  Counter* m_submitted_ = nullptr;         ///< io.submitted
+  ConcurrentHistogram* m_latency_ = nullptr;  ///< io.request_us
+  Gauge* m_inflight_ = nullptr;            ///< io.inflight
 };
 
 }  // namespace gnndrive

@@ -1,9 +1,12 @@
 #include "core/feature_buffer.hpp"
 
+#include "obs/metrics.hpp"
+#include "util/telemetry.hpp"
+
 namespace gnndrive {
 
 FeatureBuffer::FeatureBuffer(const FeatureBufferConfig& config,
-                             NodeId num_nodes)
+                             NodeId num_nodes, Telemetry* telemetry)
     : num_slots_(config.num_slots),
       row_floats_(config.row_floats),
       map_(num_nodes),
@@ -14,6 +17,23 @@ FeatureBuffer::FeatureBuffer(const FeatureBufferConfig& config,
   // All slots start free: populate the standby list in slot order.
   for (std::uint64_t s = 0; s < num_slots_; ++s) {
     standby_.push_mru(static_cast<std::uint32_t>(s));
+  }
+  if (telemetry != nullptr) {
+    MetricsRegistry& reg = *telemetry->metrics();
+    m_reuse_hits_ = &reg.counter("fb.reuse_hits");
+    m_wait_hits_ = &reg.counter("fb.wait_hits");
+    m_loads_ = &reg.counter("fb.loads");
+    m_slot_waits_ = &reg.counter("fb.slot_waits");
+    m_failed_ = &reg.counter("fb.failed_loads");
+    m_evictions_ = &reg.counter("fb.evictions");
+    m_standby_ = &reg.gauge("fb.standby");
+    m_standby_->set(static_cast<std::int64_t>(standby_.size()));
+  }
+}
+
+void FeatureBuffer::publish_standby_locked() {
+  if (m_standby_ != nullptr) {
+    m_standby_->set(static_cast<std::int64_t>(standby_.size()));
   }
 }
 
@@ -27,17 +47,21 @@ FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
       // Retired but still buffered: pull its slot out of the standby list
       // so it cannot be reused from under us.
       standby_.remove(static_cast<std::uint32_t>(e.slot));
+      publish_standby_locked();
     }
     ++stats_.reuse_hits;
+    if (m_reuse_hits_ != nullptr) m_reuse_hits_->add();
     result = {CheckStatus::kReady, e.slot};
   } else if (e.ref_count > 0) {
     // Another extractor is loading this node right now (or has marked it
     // failed and its references are still draining — waiters then see the
     // failure from wait_ready and fail their own batch).
     ++stats_.wait_hits;
+    if (m_wait_hits_ != nullptr) m_wait_hits_->add();
     result = {CheckStatus::kInFlight, e.slot};
   } else {
     ++stats_.loads;
+    if (m_loads_ != nullptr) m_loads_->add();
     result = {CheckStatus::kMustLoad, kNoSlot};
   }
   ++e.ref_count;
@@ -51,9 +75,11 @@ SlotId FeatureBuffer::allocate_slot(NodeId node) {
                "allocate_slot on node not in kMustLoad state");
   if (standby_.empty()) {
     ++stats_.slot_waits;
+    if (m_slot_waits_ != nullptr) m_slot_waits_->add();
     slot_available_.wait(lock, [&] { return !standby_.empty(); });
   }
   const std::uint32_t slot = standby_.pop_lru();
+  publish_standby_locked();
   const NodeId prev = reverse_[slot];
   if (prev != kInvalidNode) {
     // Lazy invalidation of the slot's previous occupant (Fig. 6, step 4).
@@ -61,6 +87,7 @@ SlotId FeatureBuffer::allocate_slot(NodeId node) {
                  "standby slot owner had live references");
     map_[prev].valid = false;
     map_[prev].slot = kNoSlot;
+    if (m_evictions_ != nullptr) m_evictions_->add();
   }
   reverse_[slot] = node;
   e.slot = static_cast<SlotId>(slot);
@@ -85,6 +112,7 @@ void FeatureBuffer::mark_failed(NodeId node) {
     GD_CHECK_MSG(!e.valid, "mark_failed on valid node");
     e.failed = true;
     ++stats_.failed_loads;
+    if (m_failed_ != nullptr) m_failed_->add();
   }
   became_valid_.notify_all();
 }
@@ -135,6 +163,7 @@ void FeatureBuffer::release_one(NodeId node) {
   {
     std::lock_guard lock(mu_);
     freed = retire_locked(node);
+    if (freed) publish_standby_locked();
   }
   if (freed) slot_available_.notify_all();
 }
@@ -144,6 +173,7 @@ void FeatureBuffer::release(const std::vector<NodeId>& nodes) {
   {
     std::lock_guard lock(mu_);
     for (NodeId node : nodes) freed |= retire_locked(node);
+    if (freed) publish_standby_locked();
   }
   if (freed) slot_available_.notify_all();
 }

@@ -33,6 +33,10 @@
 
 namespace gnndrive {
 
+class Counter;
+class Gauge;
+class Telemetry;
+
 struct FeatureBufferConfig {
   std::uint64_t num_slots = 0;
   std::uint32_t row_floats = 0;  ///< floats per slot (feature dimension)
@@ -48,7 +52,10 @@ struct FeatureBufferStats {
 
 class FeatureBuffer : NonCopyable {
  public:
-  FeatureBuffer(const FeatureBufferConfig& config, NodeId num_nodes);
+  /// `telemetry` (optional) publishes the hit/miss/eviction counters and the
+  /// standby-list gauge into its metrics registry under "fb.*" names.
+  FeatureBuffer(const FeatureBufferConfig& config, NodeId num_nodes,
+                Telemetry* telemetry = nullptr);
 
   enum class CheckStatus {
     kReady,     ///< valid in the buffer; slot returned
@@ -137,6 +144,16 @@ class FeatureBuffer : NonCopyable {
   IndexedLruList standby_;            ///< slots with refcount == 0
   std::vector<float> storage_;
   FeatureBufferStats stats_;
+
+  // Observability (all null without telemetry; see docs/observability.md).
+  void publish_standby_locked();
+  Counter* m_reuse_hits_ = nullptr;   ///< fb.reuse_hits
+  Counter* m_wait_hits_ = nullptr;    ///< fb.wait_hits
+  Counter* m_loads_ = nullptr;        ///< fb.loads
+  Counter* m_slot_waits_ = nullptr;   ///< fb.slot_waits
+  Counter* m_failed_ = nullptr;       ///< fb.failed_loads
+  Counter* m_evictions_ = nullptr;    ///< fb.evictions (slot re-assigned)
+  Gauge* m_standby_ = nullptr;        ///< fb.standby (list length)
 };
 
 }  // namespace gnndrive

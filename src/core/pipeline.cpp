@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
 #include "core/evaluate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/topology.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -29,6 +32,17 @@ bool transient_error(std::int32_t res) {
   return res == -EIO || res == -ETIMEDOUT;
 }
 
+std::uint64_t elapsed_ns(TimePoint begin, TimePoint end) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+/// Epoch encoded into SampledBatch::batch_id by run_epoch's samplers.
+std::uint32_t epoch_of(std::uint64_t batch_id) {
+  return static_cast<std::uint32_t>((batch_id >> 24) - 1);
+}
+
 }  // namespace
 
 struct GnnDrive::ExtractorState {
@@ -37,6 +51,13 @@ struct GnnDrive::ExtractorState {
   std::uint8_t* gds_base = nullptr;      ///< ring_depth covering blocks (GDS)
   Rng backoff_rng{0};                    ///< jitter source, seeded per worker
   EpochResult counters;                  ///< accumulated fault accounting
+
+  // Extract sub-phase attribution for the current batch, accumulated only
+  // while tracing is enabled (the real loop interleaves submit / SSD wait /
+  // transfer wait; the worker emits them as sequential synthetic spans).
+  std::uint64_t submit_ns = 0;
+  std::uint64_t ssd_wait_ns = 0;
+  std::uint64_t copy_wait_ns = 0;
 
   /// Jittered exponential backoff delay before retry number `attempt` (1+).
   Duration backoff(const FaultToleranceConfig& ft, std::uint32_t attempt) {
@@ -176,7 +197,8 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
   FeatureBufferConfig fb;
   fb.num_slots = feature_slots_;
   fb.row_floats = ds.spec().feature_dim;
-  feature_buffer_ = std::make_unique<FeatureBuffer>(fb, ds.spec().num_nodes);
+  feature_buffer_ =
+      std::make_unique<FeatureBuffer>(fb, ds.spec().num_nodes, ctx_.telemetry);
 
   GD_LOG_INFO(
       "GNNDrive(%s): Ne=%u Mb=%llu slots=%llu staging=%.1f MiB",
@@ -199,6 +221,11 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   const Duration poll =
       std::max(from_us(ft.request_timeout_ms * 1e3 / 4), from_us(500.0));
   const Duration wait_list_timeout = from_us(ft.wait_list_timeout_ms * 1e3);
+
+  SpanTracer* tracer =
+      ctx_.telemetry != nullptr ? ctx_.telemetry->tracer() : nullptr;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  state.submit_ns = state.ssd_wait_ns = state.copy_wait_ns = 0;
 
   std::vector<std::uint32_t> wait_idx;
   std::vector<std::uint32_t> load_idx;
@@ -240,6 +267,7 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
     std::size_t inflight = 0;
     bool failed = false;
     const auto submit_gds_read = [&](std::size_t j) {
+      const TimePoint t = tracing ? Clock::now() : TimePoint{};
       const NodeId node = batch.nodes[load_idx[j]];
       const std::uint64_t off = lay.feature_offset_of(node);
       const std::uint64_t base = round_down(off, kPageSize);  // 4 KiB
@@ -250,6 +278,7 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
           base, len, state.gds_base + bounce_of[j] * gds_covering_bytes_, j);
       state.ring->submit();
       ++inflight;
+      if (tracing) state.submit_ns += elapsed_ns(t, Clock::now());
     };
     while (resolved < n_load) {
       while (!failed && submitted < n_load && !free_bounce.empty()) {
@@ -271,7 +300,9 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
         continue;
       }
       if (inflight == 0) continue;
+      const TimePoint tw = tracing ? Clock::now() : TimePoint{};
       const auto cqe_opt = state.ring->wait_cqe_for(poll);
+      if (tracing) state.ssd_wait_ns += elapsed_ns(tw, Clock::now());
       if (!cqe_opt) {
         state.ring->cancel_expired(req_timeout);
         continue;
@@ -291,6 +322,11 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
           continue;
         }
         failed = true;
+        log_structured(LogLevel::kWarn, "extract_failed",
+                       {kv("batch", batch.batch_id),
+                        kv("epoch", epoch_of(batch.batch_id)),
+                        kv("node", node), kv("res", cqe_opt->res),
+                        kv("attempts", attempts[j])});
         fb.mark_failed(node);
         free_bounce.push_back(bounce_of[j]);
         ++resolved;
@@ -362,6 +398,7 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   bool failed = false;
 
   const auto submit_read = [&](std::size_t j) {
+    const TimePoint t = tracing ? Clock::now() : TimePoint{};
     const NodeId node = batch.nodes[load_idx[j]];
     const std::uint64_t off = lay.feature_offset_of(node);
     const std::uint64_t base = round_down(off, kSectorSize);
@@ -372,6 +409,7 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
     state.ring->prep_read(base, len, dst, j);
     state.ring->submit();
     ++inflight;
+    if (tracing) state.submit_ns += elapsed_ns(t, Clock::now());
   };
   const auto free_row = [&](unsigned row) {
     {
@@ -439,15 +477,19 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
       }
       // Nothing in flight to reap; wait for a transfer to free a row.
       ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
+      const TimePoint tw = tracing ? Clock::now() : TimePoint{};
       std::unique_lock lk(tracker.m);
       tracker.cv.wait(lk, [&] { return !tracker.free_rows.empty(); });
+      if (tracing) state.copy_wait_ns += elapsed_ns(tw, Clock::now());
       continue;
     }
     // Reap one load; on success its transfer starts immediately (lines
     // 32-35) and overlaps the loading of the next nodes. The watchdog turns
     // overdue requests into -ETIMEDOUT completions so a stuck device can
     // never wedge this loop.
+    const TimePoint tw = tracing ? Clock::now() : TimePoint{};
     const auto cqe_opt = state.ring->wait_cqe_for(poll);
+    if (tracing) state.ssd_wait_ns += elapsed_ns(tw, Clock::now());
     if (!cqe_opt) {
       state.ring->cancel_expired(req_timeout);
       continue;
@@ -466,6 +508,13 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
         if (ctx_.telemetry) ctx_.telemetry->count(FaultCounter::kIoRetries);
         retries.push_back({Clock::now() + state.backoff(ft, attempts[j]), j});
         continue;
+      }
+      if (!failed) {
+        log_structured(LogLevel::kWarn, "extract_failed",
+                       {kv("batch", batch.batch_id),
+                        kv("epoch", epoch_of(batch.batch_id)),
+                        kv("node", node), kv("res", cqe_opt->res),
+                        kv("attempts", attempts[j])});
       }
       fb.mark_failed(node);
       free_row(row_of[j]);
@@ -510,9 +559,11 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   // Always drain transfers — their callbacks touch this stack frame.
   if (gpu_ != nullptr && transfers_started > 0) {
     ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
+    const TimePoint tw = tracing ? Clock::now() : TimePoint{};
     std::unique_lock lk(tracker.m);
     tracker.cv.wait(lk,
                     [&] { return tracker.transfers_done == transfers_started; });
+    if (tracing) state.copy_wait_ns += elapsed_ns(tw, Clock::now());
   }
 
   // Wait-list resolution (line 38): nodes other extractors were loading. A
@@ -614,9 +665,54 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   }
   const std::size_t n_batches = batches.size();
 
+  // Observability handles for this epoch (see docs/observability.md). Stage
+  // histograms are always-on relaxed atomics; spans are recorded only while
+  // tracing is enabled.
+  Telemetry* tel = ctx_.telemetry;
+  MetricsRegistry* reg = tel != nullptr ? tel->metrics() : nullptr;
+  SpanTracer* tracer = tel != nullptr ? tel->tracer() : nullptr;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const auto epoch32 = static_cast<std::uint32_t>(epoch);
+
+  // Release-queue payload: the node list plus the batch id, so release spans
+  // line up with the rest of the batch's trace.
+  struct ReleaseItem {
+    std::uint64_t batch_id = 0;
+    std::vector<NodeId> nodes;
+  };
+
   BoundedQueue<SampledBatch> extract_q(config_.extract_queue_cap);
   BoundedQueue<SampledBatch> train_q(config_.train_queue_cap);
-  BoundedQueue<std::vector<NodeId>> release_q(16);
+  BoundedQueue<ReleaseItem> release_q(16);
+
+  ConcurrentHistogram h_sample, h_extract, h_train, h_release;
+  ConcurrentHistogram* rh_sample = nullptr;
+  ConcurrentHistogram* rh_extract = nullptr;
+  ConcurrentHistogram* rh_train = nullptr;
+  ConcurrentHistogram* rh_release = nullptr;
+  if (reg != nullptr) {
+    rh_sample = &reg->histogram("stage.sample.us");
+    rh_extract = &reg->histogram("stage.extract.us");
+    rh_train = &reg->histogram("stage.train.us");
+    rh_release = &reg->histogram("stage.release.us");
+    extract_q.bind_metrics(&reg->gauge("pipeline.extract_q.depth"),
+                           &reg->counter("pipeline.extract_q.push_blocked"),
+                           &reg->counter("pipeline.extract_q.pop_blocked"));
+    train_q.bind_metrics(&reg->gauge("pipeline.train_q.depth"),
+                         &reg->counter("pipeline.train_q.push_blocked"),
+                         &reg->counter("pipeline.train_q.pop_blocked"));
+    release_q.bind_metrics(&reg->gauge("pipeline.release_q.depth"),
+                           &reg->counter("pipeline.release_q.push_blocked"),
+                           &reg->counter("pipeline.release_q.pop_blocked"));
+  }
+  const auto stage_done = [](ConcurrentHistogram& local,
+                             ConcurrentHistogram* global, TimePoint b,
+                             TimePoint e) {
+    const double us = to_seconds(e - b) * 1e6;
+    local.add_us(us);
+    if (global != nullptr) global->add_us(us);
+  };
+  const FeatureBufferStats fb_before = feature_buffer_->stats();
 
   std::atomic<std::size_t> next_batch{0};
   std::atomic<std::uint64_t> sample_ns{0};
@@ -657,8 +753,12 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
             batch = sampler_.sample(((epoch + 1) << 24) | b, batches[b], topo,
                                     &ds.labels());
           }
-          sample_ns.fetch_add(static_cast<std::uint64_t>(
-              to_seconds(Clock::now() - ts) * 1e9));
+          const TimePoint te = Clock::now();
+          sample_ns.fetch_add(elapsed_ns(ts, te));
+          stage_done(h_sample, rh_sample, ts, te);
+          if (tracing) {
+            tracer->record(kSpanSample, batch.batch_id, epoch32, ts, te);
+          }
           if (!extract_q.push(std::move(batch))) break;
         }
       } catch (...) {
@@ -707,11 +807,41 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
                                       config_.ring_depth *
                                       covering_row_bytes_;
           }
-          while (auto batch = extract_q.pop()) {
+          for (;;) {
+            const TimePoint qb = tracing ? Clock::now() : TimePoint{};
+            auto batch = extract_q.pop();
+            if (!batch) break;
+            if (tracing) {
+              tracer->record(kSpanQueueWait, batch->batch_id, epoch32, qb,
+                             Clock::now());
+            }
             const TimePoint ts = Clock::now();
+            const std::uint64_t span_base = tracing ? tracer->now_ns() : 0;
             const bool ok = extract_batch(*batch, state);
-            extract_ns.fetch_add(static_cast<std::uint64_t>(
-                to_seconds(Clock::now() - ts) * 1e9));
+            const TimePoint te = Clock::now();
+            extract_ns.fetch_add(elapsed_ns(ts, te));
+            stage_done(h_extract, rh_extract, ts, te);
+            if (tracing) {
+              tracer->record(kSpanExtract, batch->batch_id, epoch32, ts, te);
+              // The real loop interleaves submit / SSD wait / transfer wait;
+              // the accumulated durations are emitted back-to-back so the
+              // extract row shows where the time went.
+              std::uint64_t cur = span_base;
+              if (state.submit_ns > 0) {
+                tracer->record_rel(kSpanRingSubmit, batch->batch_id, epoch32,
+                                   cur, state.submit_ns);
+                cur += state.submit_ns;
+              }
+              if (state.ssd_wait_ns > 0) {
+                tracer->record_rel(kSpanSsdWait, batch->batch_id, epoch32, cur,
+                                   state.ssd_wait_ns);
+                cur += state.ssd_wait_ns;
+              }
+              if (state.copy_wait_ns > 0) {
+                tracer->record_rel(kSpanCopyWait, batch->batch_id, epoch32,
+                                   cur, state.copy_wait_ns);
+              }
+            }
             if (ok) {
               if (!train_q.push(std::move(*batch))) break;
             } else {
@@ -721,11 +851,15 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
               if (ctx_.telemetry) {
                 ctx_.telemetry->count(FaultCounter::kFailedBatches);
               }
-              if (auto nodes = release_q.push_or_reclaim(
-                      std::move(batch->nodes))) {
+              log_structured(LogLevel::kWarn, "batch_failed",
+                             {kv("batch", batch->batch_id), kv("epoch", epoch),
+                              kv("io_errors", state.counters.io_errors),
+                              kv("io_retries", state.counters.io_retries)});
+              if (auto item = release_q.push_or_reclaim(ReleaseItem{
+                      batch->batch_id, std::move(batch->nodes)})) {
                 // Epoch is aborting and the releaser is gone: release inline
                 // so no extractor starves waiting for slots.
-                feature_buffer_->release(*nodes);
+                feature_buffer_->release(item->nodes);
               }
               if (config_.fault.fail_fast) {
                 flush_counters();
@@ -743,14 +877,26 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     // Trainer.
     workers.emplace_back([&] {
       try {
-        while (auto batch = train_q.pop()) {
+        for (;;) {
+          const TimePoint qb = tracing ? Clock::now() : TimePoint{};
+          auto batch = train_q.pop();
+          if (!batch) break;
+          if (tracing) {
+            tracer->record(kSpanQueueWait, batch->batch_id, epoch32, qb,
+                           Clock::now());
+          }
           const TimePoint ts = Clock::now();
           train_batch(*batch, stats);
-          stats.train_seconds += to_seconds(Clock::now() - ts);
+          const TimePoint te = Clock::now();
+          stats.train_seconds += to_seconds(te - ts);
+          stage_done(h_train, rh_train, ts, te);
+          if (tracing) {
+            tracer->record(kSpanTrain, batch->batch_id, epoch32, ts, te);
+          }
           trained_batches.fetch_add(1);
-          if (auto nodes =
-                  release_q.push_or_reclaim(std::move(batch->nodes))) {
-            feature_buffer_->release(*nodes);  // epoch aborting; see above
+          if (auto item = release_q.push_or_reclaim(
+                  ReleaseItem{batch->batch_id, std::move(batch->nodes)})) {
+            feature_buffer_->release(item->nodes);  // epoch aborting; see above
           }
         }
         release_q.close();
@@ -761,11 +907,42 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     // Releaser.
     workers.emplace_back([&] {
       try {
-        while (auto nodes = release_q.pop()) {
-          feature_buffer_->release(*nodes);
+        while (auto item = release_q.pop()) {
+          const TimePoint ts = Clock::now();
+          feature_buffer_->release(item->nodes);
+          const TimePoint te = Clock::now();
+          stage_done(h_release, rh_release, ts, te);
+          if (tracing) {
+            tracer->record(kSpanRelease, item->batch_id, epoch32, ts, te);
+          }
         }
       } catch (...) {
         capture_error();
+      }
+    });
+  }
+
+  // Periodic snapshot thread: samples queue depths, standby-list length and
+  // in-flight I/O as Chrome-trace counter tracks while tracing is on.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor;
+  if (tracing) {
+    Gauge* io_inflight = reg != nullptr ? &reg->gauge("io.inflight") : nullptr;
+    monitor = std::thread([&, io_inflight] {
+      while (!monitor_stop.load(std::memory_order_relaxed)) {
+        tracer->sample_counter("extract_q",
+                               static_cast<double>(extract_q.size()));
+        tracer->sample_counter("train_q", static_cast<double>(train_q.size()));
+        tracer->sample_counter("release_q",
+                               static_cast<double>(release_q.size()));
+        tracer->sample_counter(
+            "fb.standby",
+            static_cast<double>(feature_buffer_->standby_size()));
+        if (io_inflight != nullptr) {
+          tracer->sample_counter("io.inflight",
+                                 static_cast<double>(io_inflight->value()));
+        }
+        std::this_thread::sleep_for(from_us(5000.0));
       }
     });
   }
@@ -782,6 +959,10 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     workers[0].join();
   }
   if (gpu_ != nullptr) gpu_->sync();
+  if (monitor.joinable()) {
+    monitor_stop.store(true, std::memory_order_relaxed);
+    monitor.join();
+  }
 
   {
     std::lock_guard lk(err_mu);
@@ -797,6 +978,25 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   stats.result.io_retries = io_retries.load();
   stats.result.io_recovered = io_recovered.load();
   stats.result.io_timeouts = io_timeouts.load();
+  const auto fill = [](StageLatency& s, const ConcurrentHistogram& h) {
+    const LatencyHistogram lh = h.snapshot();
+    s.count = lh.count();
+    s.mean_us = lh.mean_us();
+    s.p50_us = lh.percentile_us(0.50);
+    s.p95_us = lh.percentile_us(0.95);
+    s.p99_us = lh.percentile_us(0.99);
+  };
+  fill(stats.obs.sample, h_sample);
+  fill(stats.obs.extract, h_extract);
+  fill(stats.obs.train, h_train);
+  fill(stats.obs.release, h_release);
+  stats.obs.extract_q_max = extract_q.max_size();
+  stats.obs.train_q_max = train_q.max_size();
+  stats.obs.release_q_max = release_q.max_size();
+  const FeatureBufferStats fb_after = feature_buffer_->stats();
+  stats.obs.fb_reuse_hits = fb_after.reuse_hits - fb_before.reuse_hits;
+  stats.obs.fb_wait_hits = fb_after.wait_hits - fb_before.wait_hits;
+  stats.obs.fb_loads = fb_after.loads - fb_before.loads;
   // Mean loss/accuracy over the batches that actually trained (identical to
   // dividing by n_batches on a clean epoch).
   const std::uint64_t denom =

@@ -2,6 +2,7 @@
 // baselines), so benches can sweep them uniformly.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -38,6 +39,69 @@ struct EpochResult {
   bool ok() const { return failed_batches == 0; }
 };
 
+/// Per-stage latency distribution over one epoch (microseconds per batch).
+struct StageLatency {
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// End-of-epoch observability report (see docs/observability.md). Populated
+/// by the GNNDrive pipeline on every epoch — the per-batch histograms behind
+/// it are relaxed atomics, cheap enough to keep always-on.
+struct EpochObs {
+  StageLatency sample, extract, train, release;
+  std::uint64_t extract_q_max = 0;  ///< deepest the extracting queue got
+  std::uint64_t train_q_max = 0;
+  std::uint64_t release_q_max = 0;
+  std::uint64_t fb_reuse_hits = 0;  ///< feature-buffer reuse hits this epoch
+  std::uint64_t fb_wait_hits = 0;   ///< nodes found in-flight this epoch
+  std::uint64_t fb_loads = 0;       ///< nodes loaded from SSD this epoch
+  /// (reuse + wait) / (reuse + wait + loads); 0 when no lookups happened.
+  double fb_hit_rate() const {
+    const double hits =
+        static_cast<double>(fb_reuse_hits) + static_cast<double>(fb_wait_hits);
+    const double total = hits + static_cast<double>(fb_loads);
+    return total > 0 ? hits / total : 0.0;
+  }
+
+  /// Multi-line printable summary for benches and examples.
+  std::string format() const {
+    std::string out;
+    char line[192];
+    const auto row = [&](const char* name, const StageLatency& s) {
+      std::snprintf(line, sizeof(line),
+                    "  %-8s n=%-5llu p50=%9.1fus p95=%9.1fus p99=%9.1fus "
+                    "mean=%9.1fus\n",
+                    name, static_cast<unsigned long long>(s.count), s.p50_us,
+                    s.p95_us, s.p99_us, s.mean_us);
+      out += line;
+    };
+    row("sample", sample);
+    row("extract", extract);
+    row("train", train);
+    row("release", release);
+    std::snprintf(line, sizeof(line),
+                  "  queues   extract_q max=%llu train_q max=%llu "
+                  "release_q max=%llu\n",
+                  static_cast<unsigned long long>(extract_q_max),
+                  static_cast<unsigned long long>(train_q_max),
+                  static_cast<unsigned long long>(release_q_max));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  fbuffer  hit-rate=%.1f%% (reuse=%llu wait=%llu "
+                  "loads=%llu)\n",
+                  100.0 * fb_hit_rate(),
+                  static_cast<unsigned long long>(fb_reuse_hits),
+                  static_cast<unsigned long long>(fb_wait_hits),
+                  static_cast<unsigned long long>(fb_loads));
+    out += line;
+    return out;
+  }
+};
+
 /// Per-epoch outcome. Stage seconds are summed over batches (and threads),
 /// so with pipelining their sum can exceed the wall-clock epoch time.
 struct EpochStats {
@@ -50,6 +114,7 @@ struct EpochStats {
   double train_accuracy = 0.0;  ///< mini-batch argmax accuracy
   std::uint64_t batches = 0;
   EpochResult result;           ///< fault/recovery summary (zero when clean)
+  EpochObs obs;                 ///< latency/queue/buffer report (GNNDrive)
 };
 
 /// Knobs shared by every system (the paper's common experimental setup).

@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace gnndrive {
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+SpanTracer::SpanTracer(std::size_t max_records) : cap_(max_records) {}
+
+void SpanTracer::set_enabled(bool on) {
+  if (on && !enabled()) {
+    std::lock_guard lock(mu_);
+    t0_ = Clock::now();
+  }
+  enabled_.store(on, std::memory_order_release);
+}
+
+void SpanTracer::reset() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+  counters_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  t0_ = Clock::now();
+}
+
+std::uint64_t SpanTracer::now_ns() const {
+  if (!enabled()) return 0;
+  std::lock_guard lock(mu_);
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0_)
+          .count());
+}
+
+void SpanTracer::record(const char* name, std::uint64_t batch,
+                        std::uint32_t epoch, TimePoint begin, TimePoint end) {
+  if (!enabled() || end <= begin) return;
+  std::lock_guard lock(mu_);
+  if (begin < t0_) begin = t0_;
+  if (end <= t0_) return;
+  const auto rel = [&](TimePoint t) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - t0_).count());
+  };
+  if (spans_.size() + counters_.size() >= cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(SpanRecord{name, rel(begin), rel(end) - rel(begin), batch,
+                              epoch, trace_thread_id()});
+}
+
+void SpanTracer::record_rel(const char* name, std::uint64_t batch,
+                            std::uint32_t epoch, std::uint64_t begin_ns,
+                            std::uint64_t dur_ns) {
+  if (!enabled() || dur_ns == 0) return;
+  std::lock_guard lock(mu_);
+  if (spans_.size() + counters_.size() >= cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(
+      SpanRecord{name, begin_ns, dur_ns, batch, epoch, trace_thread_id()});
+}
+
+void SpanTracer::sample_counter(const char* name, double value) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  const auto t_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0_)
+          .count());
+  if (spans_.size() + counters_.size() >= cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  counters_.push_back(CounterRecord{name, t_ns, value});
+}
+
+std::size_t SpanTracer::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> SpanTracer::spans() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  return out;
+}
+
+std::string SpanTracer::chrome_trace_json() const {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterRecord> counters;
+  {
+    std::lock_guard lock(mu_);
+    spans = spans_;
+    counters = counters_;
+  }
+  std::string out;
+  out.reserve(spans.size() * 120 + counters.size() * 90 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":{\"batch\":%" PRIu64 ",\"epoch\":%u}}",
+                  first ? "" : ",", s.name, s.tid,
+                  static_cast<double>(s.begin_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, s.batch, s.epoch);
+    out += buf;
+    first = false;
+  }
+  for (const CounterRecord& c : counters) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+                  "\"ts\":%.3f,\"args\":{\"value\":%.3f}}",
+                  first ? "" : ",", c.name,
+                  static_cast<double>(c.t_ns) / 1e3, c.value);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool SpanTracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string SpanTracer::summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  {
+    std::lock_guard lock(mu_);
+    for (const SpanRecord& s : spans_) {
+      Agg& a = by_name[s.name];
+      ++a.count;
+      a.total_ns += s.dur_ns;
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  std::string out = "span                      count     total(s)    mean(us)\n";
+  char line[160];
+  for (const auto& [name, a] : rows) {
+    std::snprintf(line, sizeof(line), "%-24s %6llu %12.3f %11.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e9,
+                  static_cast<double>(a.total_ns) / 1e3 /
+                      static_cast<double>(std::max<std::uint64_t>(a.count, 1)));
+    out += line;
+  }
+  if (dropped() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "(%llu records dropped past the %zu-record cap)\n",
+                  static_cast<unsigned long long>(dropped()), cap_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,143 @@
+// Per-mini-batch span tracer with Chrome trace-event export.
+//
+// The time-bucketed Telemetry answers "how busy was the machine"; this
+// tracer answers "where did batch 417 spend its time". Pipeline stages
+// record one span per (stage, batch): sample, extract (with ring-submit /
+// ssd-wait / staging-to-device sub-phases), train and release, each tagged
+// with batch id, epoch and a small per-thread id. A periodic sampler adds
+// counter tracks (queue depths, standby-list length, in-flight I/O).
+//
+// Export formats:
+//   * chrome_trace_json() — Chrome trace-event JSON ("X" complete events +
+//     "C" counter events), loadable in Perfetto / chrome://tracing.
+//   * summary()           — compact text flamegraph: total/mean time and
+//     span count aggregated per span name.
+//
+// Cost model: when disabled (the default), every record path is a single
+// relaxed atomic load — safe to leave compiled into the hot loops. When
+// enabled, records append to a mutex-guarded buffer; spans are emitted at
+// mini-batch granularity (tens of records per batch), so the lock is
+// uncontended and off the per-node fast path. The buffer is bounded;
+// records past the cap are counted in dropped() instead of growing without
+// limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+/// Canonical span names for the four pipeline stages (tests and the trace
+/// validator key on these exact strings).
+inline constexpr const char* kSpanSample = "sample";
+inline constexpr const char* kSpanExtract = "extract";
+inline constexpr const char* kSpanTrain = "train";
+inline constexpr const char* kSpanRelease = "release";
+/// Extract sub-phases (Algorithm 1's ring-submit / ssd-wait / transfer).
+inline constexpr const char* kSpanRingSubmit = "extract.ring_submit";
+inline constexpr const char* kSpanSsdWait = "extract.ssd_wait";
+inline constexpr const char* kSpanCopyWait = "extract.copy_wait";
+/// Time a stage spent blocked popping its input queue.
+inline constexpr const char* kSpanQueueWait = "queue_wait";
+
+struct SpanRecord {
+  const char* name = "";       ///< static string (one of the names above)
+  std::uint64_t begin_ns = 0;  ///< relative to trace start
+  std::uint64_t dur_ns = 0;
+  std::uint64_t batch = 0;     ///< SampledBatch::batch_id
+  std::uint32_t epoch = 0;
+  std::uint32_t tid = 0;       ///< process-wide small thread id
+};
+
+struct CounterRecord {
+  const char* name = "";
+  std::uint64_t t_ns = 0;
+  double value = 0.0;
+};
+
+class SpanTracer : NonCopyable {
+ public:
+  explicit SpanTracer(std::size_t max_records = 1u << 22);
+
+  /// The single observability switch (Telemetry::set_tracing forwards
+  /// here). Enabling (re)starts the trace clock; disabling freezes
+  /// recording but keeps the buffer for export.
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded spans/counters and resets the clock.
+  void reset();
+
+  /// Records a completed span [begin, end). No-op while disabled.
+  void record(const char* name, std::uint64_t batch, std::uint32_t epoch,
+              TimePoint begin, TimePoint end);
+  /// Same, with the interval already relative to the trace start — used for
+  /// synthetic sub-phase spans assembled from accumulated durations.
+  void record_rel(const char* name, std::uint64_t batch, std::uint32_t epoch,
+                  std::uint64_t begin_ns, std::uint64_t dur_ns);
+  /// Samples a counter track at "now" (queue depth, buffer occupancy, ...).
+  void sample_counter(const char* name, double value);
+
+  /// Nanoseconds since the trace started (0 when disabled).
+  std::uint64_t now_ns() const;
+
+  std::size_t span_count() const;
+  std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Copy of all spans, sorted by begin time.
+  std::vector<SpanRecord> spans() const;
+
+  /// Chrome trace-event JSON (one "X" event per span, one "C" event per
+  /// counter sample). Open in https://ui.perfetto.dev or chrome://tracing.
+  std::string chrome_trace_json() const;
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Text flamegraph summary: per span name, count / total / mean, sorted
+  /// by total time descending.
+  std::string summary() const;
+
+ private:
+  const std::size_t cap_;
+  std::atomic<bool> enabled_{false};
+  TimePoint t0_{};
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Small process-wide id for the calling thread (stable per thread).
+std::uint32_t trace_thread_id();
+
+/// RAII span: records [construction, destruction) under `name` when the
+/// tracer is enabled. Null tracer is harmless.
+class ScopedSpan : NonCopyable {
+ public:
+  ScopedSpan(SpanTracer* tracer, const char* name, std::uint64_t batch,
+             std::uint32_t epoch)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name), batch_(batch), epoch_(epoch),
+        begin_(tracer_ != nullptr ? Clock::now() : TimePoint{}) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, batch_, epoch_, begin_, Clock::now());
+    }
+  }
+
+ private:
+  SpanTracer* tracer_;
+  const char* name_;
+  std::uint64_t batch_;
+  std::uint32_t epoch_;
+  TimePoint begin_;
+};
+
+}  // namespace gnndrive

@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 
 namespace gnndrive {
 
@@ -209,6 +211,7 @@ std::uint64_t SsdDevice::submit(Op op, std::uint64_t offset, std::uint32_t len,
     }
     pending_.push(std::move(req));
     ++in_flight_;
+    mirror_stats_locked();
   }
   cv_.notify_one();
   return token;
@@ -248,6 +251,7 @@ bool SsdDevice::try_cancel(std::uint64_t token) {
   if (!found) return false;
   cancelled_.insert(token);
   ++stats_.cancelled;
+  mirror_stats_locked();
   --in_flight_;
   if (in_flight_ == 0) drained_.notify_all();
   cv_.notify_one();
@@ -318,6 +322,39 @@ SsdStats SsdDevice::stats() const {
 void SsdDevice::reset_stats() {
   std::lock_guard lock(mu_);
   stats_ = SsdStats{};
+  mirror_stats_locked();
+}
+
+void SsdDevice::set_telemetry(Telemetry* telemetry) {
+  std::lock_guard lock(mu_);
+  if (telemetry == nullptr) {
+    m_ = StatCounters{};
+    return;
+  }
+  MetricsRegistry& reg = *telemetry->metrics();
+  m_.reads = &reg.counter("ssd.reads");
+  m_.writes = &reg.counter("ssd.writes");
+  m_.bytes_read = &reg.counter("ssd.bytes_read");
+  m_.bytes_written = &reg.counter("ssd.bytes_written");
+  m_.busy_us = &reg.counter("ssd.busy_us");
+  m_.injected_eio = &reg.counter("ssd.injected_eio");
+  m_.injected_spikes = &reg.counter("ssd.injected_spikes");
+  m_.injected_stuck = &reg.counter("ssd.injected_stuck");
+  m_.cancelled = &reg.counter("ssd.cancelled");
+  mirror_stats_locked();
+}
+
+void SsdDevice::mirror_stats_locked() {
+  if (m_.reads == nullptr) return;
+  m_.reads->store(stats_.reads);
+  m_.writes->store(stats_.writes);
+  m_.bytes_read->store(stats_.bytes_read);
+  m_.bytes_written->store(stats_.bytes_written);
+  m_.busy_us->store(static_cast<std::uint64_t>(stats_.busy_seconds * 1e6));
+  m_.injected_eio->store(stats_.injected_eio);
+  m_.injected_spikes->store(stats_.injected_spikes);
+  m_.injected_stuck->store(stats_.injected_stuck);
+  m_.cancelled->store(stats_.cancelled);
 }
 
 void SsdDevice::device_loop() {

@@ -38,6 +38,9 @@
 
 namespace gnndrive {
 
+class Counter;
+class Telemetry;
+
 /// Storage for the simulated drive's contents. read/write return 0 on
 /// success or a negative errno (e.g. -EIO) on failure; partial transfers
 /// are handled inside the backend.
@@ -203,6 +206,12 @@ class SsdDevice : NonCopyable {
   SsdStats stats() const;
   void reset_stats();
 
+  /// Mirrors SsdStats into `telemetry`'s metrics registry under "ssd.*"
+  /// counters (reads, writes, bytes_read, bytes_written, busy_us,
+  /// injected_eio, injected_spikes, injected_stuck, cancelled), updated at
+  /// every submit/cancel. Pass nullptr to stop mirroring.
+  void set_telemetry(Telemetry* telemetry);
+
   /// Modeled service time for a request of `len` bytes (no queueing).
   Duration service_time(Op op, std::uint32_t len) const;
 
@@ -223,6 +232,8 @@ class SsdDevice : NonCopyable {
   };
 
   void device_loop();
+  /// Publishes stats_ into the ssd.* counters (no-op without telemetry).
+  void mirror_stats_locked();
 
   const SsdConfig config_;
   std::shared_ptr<SsdBackend> backend_;
@@ -238,6 +249,20 @@ class SsdDevice : NonCopyable {
   bool stop_ = false;
   SsdStats stats_;
   std::unique_ptr<FaultInjector> injector_;  ///< null when faults are off
+
+  // Observability mirrors (all null without set_telemetry).
+  struct StatCounters {
+    Counter* reads = nullptr;
+    Counter* writes = nullptr;
+    Counter* bytes_read = nullptr;
+    Counter* bytes_written = nullptr;
+    Counter* busy_us = nullptr;
+    Counter* injected_eio = nullptr;
+    Counter* injected_spikes = nullptr;
+    Counter* injected_stuck = nullptr;
+    Counter* cancelled = nullptr;
+  } m_;
+
   std::thread device_thread_;
 };
 

@@ -28,6 +28,19 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void log_structured(LogLevel level, const char* event,
+                    std::initializer_list<LogField> fields) {
+  if (level > log_level()) return;
+  std::string line = event;
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    line += f.value;
+  }
+  log_at(level, "%s", line.c_str());
+}
+
 void log_at(LogLevel level, const char* fmt, ...) {
   if (level > log_level()) return;
   char line[1024];

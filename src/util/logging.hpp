@@ -3,6 +3,11 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
 
 namespace gnndrive {
 
@@ -19,5 +24,46 @@ void log_at(LogLevel level, const char* fmt, ...)
 #define GD_LOG_WARN(...)  ::gnndrive::log_at(::gnndrive::LogLevel::kWarn, __VA_ARGS__)
 #define GD_LOG_INFO(...)  ::gnndrive::log_at(::gnndrive::LogLevel::kInfo, __VA_ARGS__)
 #define GD_LOG_DEBUG(...) ::gnndrive::log_at(::gnndrive::LogLevel::kDebug, __VA_ARGS__)
+
+// -- Structured logging -------------------------------------------------------
+// Emits "event key=value key=value ..." lines whose field names match the
+// span/metric vocabulary (batch, epoch, ...), so a pipeline warning can be
+// joined against the Chrome trace by batch id. Example:
+//
+//   log_structured(LogLevel::kWarn, "batch_failed",
+//                  {kv("batch", b.batch_id), kv("epoch", epoch),
+//                   kv("io_errors", errs)});
+//   -> [WARN] batch_failed batch=417 epoch=2 io_errors=3
+
+/// One key=value field; build with the kv() overloads below.
+struct LogField {
+  const char* key;
+  std::string value;
+};
+
+inline LogField kv(const char* key, const char* value) {
+  return {key, std::string(value)};
+}
+inline LogField kv(const char* key, const std::string& value) {
+  return {key, value};
+}
+inline LogField kv(const char* key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return {key, std::string(buf)};
+}
+inline LogField kv(const char* key, bool value) {
+  return {key, std::string(value ? "true" : "false")};
+}
+template <typename T,
+          typename = std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>>
+inline LogField kv(const char* key, T value) {
+  return {key, std::to_string(value)};
+}
+
+/// Formats and writes one structured line (thread-safe, same sink and level
+/// gate as log_at).
+void log_structured(LogLevel level, const char* event,
+                    std::initializer_list<LogField> fields);
 
 }  // namespace gnndrive

@@ -13,6 +13,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/common.hpp"
 
 namespace gnndrive {
@@ -24,12 +25,28 @@ class BoundedQueue : NonCopyable {
     GD_CHECK(capacity > 0);
   }
 
+  /// Observability: publishes the queue depth into `depth` (updated under
+  /// the queue lock) and counts producer/consumer blocking events. All
+  /// pointers optional; the bound instruments must outlive the queue.
+  void bind_metrics(Gauge* depth, Counter* push_blocked = nullptr,
+                    Counter* pop_blocked = nullptr) {
+    std::lock_guard lock(mu_);
+    depth_ = depth;
+    push_blocked_ = push_blocked;
+    pop_blocked_ = pop_blocked;
+    if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(items_.size()));
+  }
+
   /// Blocks until space is available. Returns false if the queue was closed.
   bool push(T item) {
     std::unique_lock lock(mu_);
+    if (push_blocked_ != nullptr && items_.size() >= capacity_ && !closed_) {
+      push_blocked_->add();
+    }
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    note_depth_locked();
     not_empty_.notify_one();
     return true;
   }
@@ -39,9 +56,13 @@ class BoundedQueue : NonCopyable {
   /// references during an epoch abort). nullopt means the push succeeded.
   std::optional<T> push_or_reclaim(T item) {
     std::unique_lock lock(mu_);
+    if (push_blocked_ != nullptr && items_.size() >= capacity_ && !closed_) {
+      push_blocked_->add();
+    }
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return std::optional<T>(std::move(item));
     items_.push_back(std::move(item));
+    note_depth_locked();
     not_empty_.notify_one();
     return std::nullopt;
   }
@@ -49,10 +70,14 @@ class BoundedQueue : NonCopyable {
   /// Blocks until an item is available. Empty optional means closed & drained.
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
+    if (pop_blocked_ != nullptr && items_.empty() && !closed_) {
+      pop_blocked_->add();
+    }
     not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    note_depth_locked();
     not_full_.notify_one();
     return item;
   }
@@ -63,6 +88,7 @@ class BoundedQueue : NonCopyable {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    note_depth_locked();
     not_full_.notify_one();
     return item;
   }
@@ -95,6 +121,12 @@ class BoundedQueue : NonCopyable {
     std::lock_guard lock(mu_);
     return items_.size();
   }
+  /// Deepest the queue has ever been (for end-of-epoch reports; queues are
+  /// created per epoch, so no reset is needed).
+  std::size_t max_size() const {
+    std::lock_guard lock(mu_);
+    return max_size_;
+  }
   std::size_t capacity() const { return capacity_; }
   bool closed() const {
     std::lock_guard lock(mu_);
@@ -102,12 +134,21 @@ class BoundedQueue : NonCopyable {
   }
 
  private:
+  void note_depth_locked() {
+    max_size_ = std::max(max_size_, items_.size());
+    if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(items_.size()));
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::size_t max_size_ = 0;
   bool closed_ = false;
+  Gauge* depth_ = nullptr;
+  Counter* push_blocked_ = nullptr;
+  Counter* pop_blocked_ = nullptr;
 };
 
 }  // namespace gnndrive

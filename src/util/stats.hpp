@@ -21,6 +21,25 @@ class RunningStat {
     max_ = std::max(max_, x);
     sum_ += x;
   }
+  /// Parallel Welford combine (Chan et al.): merging per-thread stats gives
+  /// bit-for-bit the same count/sum and numerically equivalent mean/variance
+  /// as a single stream, without any shared lock on the add() path.
+  void merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double sum() const { return sum_; }
@@ -41,42 +60,80 @@ class RunningStat {
 };
 
 /// Fixed-boundary latency histogram (microseconds), log2 buckets.
+/// Bucket 0 covers [0, 1] us; bucket i covers (2^(i-1), 2^i] us.
 class LatencyHistogram {
  public:
+  static constexpr int kBuckets = 32;
+
   void add_us(double us) {
     ++count_;
     sum_us_ += us;
+    max_us_ = std::max(max_us_, us);
+    ++buckets_[bucket_of(us)];
+  }
+  std::uint64_t count() const { return count_; }
+  double mean_us() const {
+    return count_ ? sum_us_ / static_cast<double>(count_) : 0.0;
+  }
+  double max_us() const { return count_ ? max_us_ : 0.0; }
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+
+  /// Approximate percentile: finds the bucket holding the p-th sample and
+  /// interpolates linearly within it (the winning bucket's samples are
+  /// assumed uniform across its range). p is clamped to [0, 1]; p == 1.0
+  /// returns the exact maximum seen.
+  double percentile_us(double p) const {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the wanted sample in [1, count] (nearest-rank definition).
+    const double rank =
+        std::max(1.0, std::ceil(p * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t n = buckets_[i];
+      if (n > 0 && static_cast<double>(seen + n) >= rank) {
+        const double within = (rank - static_cast<double>(seen)) /
+                              static_cast<double>(n);
+        return std::min(lo + within * (hi - lo), max_us_);
+      }
+      seen += n;
+      lo = hi;
+      hi *= 2.0;
+    }
+    return max_us_;
+  }
+
+  /// Rebuilds a histogram from raw bucket counts (used by the thread-safe
+  /// ConcurrentHistogram to snapshot into this query-side representation).
+  static LatencyHistogram from_raw(const std::uint64_t* buckets,
+                                   double sum_us, double max_us) {
+    LatencyHistogram h;
+    for (int i = 0; i < kBuckets; ++i) {
+      h.buckets_[i] = buckets[i];
+      h.count_ += buckets[i];
+    }
+    h.sum_us_ = sum_us;
+    h.max_us_ = max_us;
+    return h;
+  }
+
+  static int bucket_of(double us) {
     int bucket = 0;
     double bound = 1.0;
     while (us > bound && bucket < kBuckets - 1) {
       bound *= 2.0;
       ++bucket;
     }
-    ++buckets_[bucket];
-  }
-  std::uint64_t count() const { return count_; }
-  double mean_us() const {
-    return count_ ? sum_us_ / static_cast<double>(count_) : 0.0;
-  }
-  /// Approximate percentile from bucket boundaries.
-  double percentile_us(double p) const {
-    if (count_ == 0) return 0.0;
-    const std::uint64_t target =
-        static_cast<std::uint64_t>(p * static_cast<double>(count_));
-    std::uint64_t seen = 0;
-    double bound = 1.0;
-    for (int i = 0; i < kBuckets; ++i, bound *= 2.0) {
-      seen += buckets_[i];
-      if (seen > target) return bound;
-    }
-    return bound;
+    return bucket;
   }
 
  private:
-  static constexpr int kBuckets = 32;
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
   double sum_us_ = 0.0;
+  double max_us_ = 0.0;
 };
 
 /// Exact percentile over a collected sample set (benches, small n).

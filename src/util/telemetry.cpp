@@ -1,6 +1,10 @@
 #include "util/telemetry.hpp"
 
 #include <algorithm>
+#include <iterator>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gnndrive {
 
@@ -12,11 +16,31 @@ double thread_io_wait_seconds() { return tl_io_wait_seconds; }
 void add_thread_io_wait(double seconds) { tl_io_wait_seconds += seconds; }
 
 Telemetry::Telemetry(double bucket_ms, std::size_t max_buckets)
-    : bucket_ms_(bucket_ms), cells_(max_buckets) {
+    : bucket_ms_(bucket_ms), cells_(max_buckets),
+      metrics_(std::make_unique<MetricsRegistry>()),
+      tracer_(std::make_unique<SpanTracer>()) {
   for (auto& row : cells_) {
     for (auto& cell : row) cell.store(0, std::memory_order_relaxed);
   }
+  static constexpr const char* kFaultNames[] = {
+      "fault.io_errors", "fault.io_retries", "fault.io_timeouts",
+      "fault.failed_batches"};
+  static_assert(std::size(kFaultNames) ==
+                static_cast<std::size_t>(FaultCounter::kCount));
+  for (int i = 0; i < static_cast<int>(FaultCounter::kCount); ++i) {
+    fault_counters_[i] = &metrics_->counter(kFaultNames[i]);
+  }
 }
+
+Telemetry::~Telemetry() = default;
+
+void Telemetry::count(FaultCounter c, std::uint64_t n) {
+  counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  fault_counters_[static_cast<int>(c)]->add(n);
+}
+
+void Telemetry::set_tracing(bool on) { tracer_->set_enabled(on); }
+bool Telemetry::tracing() const { return tracer_->enabled(); }
 
 void Telemetry::start() {
   t0_ = Clock::now();

@@ -10,11 +10,16 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/common.hpp"
 
 namespace gnndrive {
+
+class Counter;
+class MetricsRegistry;
+class SpanTracer;
 
 enum class TraceCat : int {
   kCpuBusy = 0,   ///< Thread doing computation (sampling, training math, ...).
@@ -39,6 +44,7 @@ class Telemetry {
  public:
   /// `bucket_ms`: grid width; `max_buckets`: trace length cap.
   explicit Telemetry(double bucket_ms = 100.0, std::size_t max_buckets = 8192);
+  ~Telemetry();
 
   /// Marks t=0 of the trace. Intervals before start() are dropped.
   void start();
@@ -63,12 +69,31 @@ class Telemetry {
   double total_seconds(TraceCat cat) const;
 
   /// Fault/retry/timeout counters (independent of start(); always active).
-  void count(FaultCounter c, std::uint64_t n = 1) {
-    counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
-  }
+  /// Also mirrored into the metrics registry under "fault.*" names.
+  void count(FaultCounter c, std::uint64_t n = 1);
   std::uint64_t counter(FaultCounter c) const {
     return counters_[static_cast<int>(c)].load(std::memory_order_relaxed);
   }
+
+  // -- Observability subsystem (src/obs) ------------------------------------
+  // The telemetry object is the one handle every component already receives,
+  // so it also owns the unified metrics registry and the per-batch span
+  // tracer. Metrics are always live (relaxed atomics, negligible); span
+  // recording is gated on the single set_tracing() flag and is near-zero
+  // cost while off (one relaxed load per would-be record).
+
+  /// Named counters/gauges/histograms shared by all instrumented components.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Per-mini-batch span tracer (Chrome trace export). Never null.
+  SpanTracer* tracer() { return tracer_.get(); }
+  const SpanTracer* tracer() const { return tracer_.get(); }
+
+  /// Master switch for span recording and the pipeline's periodic
+  /// queue/buffer sampling. Off by default.
+  void set_tracing(bool on);
+  bool tracing() const;
 
  private:
   const double bucket_ms_;
@@ -79,6 +104,11 @@ class Telemetry {
   std::vector<std::array<std::atomic<std::uint64_t>, 3>> cells_;
   std::array<std::atomic<std::uint64_t>, static_cast<int>(FaultCounter::kCount)>
       counters_{};
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<SpanTracer> tracer_;
+  /// Registry mirrors of the FaultCounter slots, resolved at construction.
+  std::array<Counter*, static_cast<int>(FaultCounter::kCount)>
+      fault_counters_{};
 };
 
 /// Thread-local accumulator of I/O-wait seconds, so compute scopes can

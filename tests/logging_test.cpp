@@ -17,6 +17,41 @@ TEST(Logging, LevelRoundTrip) {
   set_log_level(saved);
 }
 
+TEST(Logging, StructuredFieldsFormat) {
+  // kv() renders each supported type the way trace args do, so a warning
+  // line can be joined against the Chrome trace by batch id.
+  EXPECT_EQ(kv("batch", std::uint64_t{417}).value, "417");
+  EXPECT_EQ(kv("epoch", 2).value, "2");
+  EXPECT_EQ(kv("rate", 0.5).value, "0.500");
+  EXPECT_EQ(kv("ok", true).value, "true");
+  EXPECT_EQ(kv("ok", false).value, "false");
+  EXPECT_EQ(kv("stage", "extract").value, "extract");
+  EXPECT_EQ(kv("name", std::string("sample")).value, "sample");
+}
+
+TEST(Logging, StructuredLineCarriesEventAndFields) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_structured(LogLevel::kWarn, "batch_failed",
+                 {kv("batch", 417), kv("epoch", 2), kv("io_errors", 3)});
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  set_log_level(saved);
+  EXPECT_NE(out.find("[WARN] batch_failed batch=417 epoch=2 io_errors=3"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Logging, StructuredRespectsLevelGate) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_structured(LogLevel::kWarn, "suppressed_event", {kv("batch", 1)});
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  set_log_level(saved);
+  EXPECT_EQ(out.find("suppressed_event"), std::string::npos);
+}
+
 TEST(Rounding, UpDownCeil) {
   EXPECT_EQ(round_up(0, 512), 0u);
   EXPECT_EQ(round_up(1, 512), 512u);

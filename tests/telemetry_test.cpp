@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "memsim/page_cache.hpp"
+#include "obs/metrics.hpp"
 #include "storage/ssd.hpp"
 #include "util/env.hpp"
 #include "util/queue.hpp"
@@ -76,6 +77,64 @@ TEST(BoundedQueue, ReopenAfterClose) {
   q.reopen();
   EXPECT_TRUE(q.push(3));
   EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(Telemetry, IntervalApportionsAcrossManyBuckets) {
+  // A 47 ms interval on a 10 ms grid must spread across at least 5 buckets
+  // and conserve its total duration (no double counting at bucket edges).
+  Telemetry tel(/*bucket_ms=*/10.0);
+  tel.start();
+  const TimePoint t0 = Clock::now();
+  tel.record(TraceCat::kCpuBusy, t0, t0 + std::chrono::milliseconds(47));
+  const auto buckets = tel.snapshot();
+  std::size_t touched = 0;
+  double total = 0.0;
+  for (const auto& b : buckets) {
+    if (b.cpu_busy > 0) ++touched;
+    total += b.cpu_busy;
+    // No bucket can hold more than its own width from a single thread.
+    EXPECT_LE(b.cpu_busy, tel.bucket_seconds() + 1e-6);
+  }
+  EXPECT_GE(touched, 5u);
+  EXPECT_NEAR(total, 0.047, 1e-4);
+  EXPECT_NEAR(tel.total_seconds(TraceCat::kCpuBusy), 0.047, 1e-4);
+}
+
+TEST(Telemetry, IntervalsBeforeStartAreDropped) {
+  Telemetry tel(10.0);
+  const TimePoint t0 = Clock::now();
+  // Not started yet: recording is a no-op.
+  tel.record(TraceCat::kCpuBusy, t0, t0 + std::chrono::milliseconds(20));
+  EXPECT_DOUBLE_EQ(tel.total_seconds(TraceCat::kCpuBusy), 0.0);
+  for (const auto& b : tel.snapshot()) {
+    EXPECT_DOUBLE_EQ(b.cpu_busy, 0.0);
+    EXPECT_DOUBLE_EQ(b.io_wait, 0.0);
+    EXPECT_DOUBLE_EQ(b.gpu_busy, 0.0);
+  }
+  tel.start();
+  tel.record(TraceCat::kCpuBusy, Clock::now(),
+             Clock::now() + std::chrono::milliseconds(5));
+  EXPECT_NEAR(tel.total_seconds(TraceCat::kCpuBusy), 0.005, 1e-4);
+}
+
+TEST(Telemetry, FaultCountersCountAndMirrorIntoRegistry) {
+  Telemetry tel;
+  // Active without start(), and additive.
+  tel.count(FaultCounter::kIoErrors);
+  tel.count(FaultCounter::kIoErrors, 2);
+  tel.count(FaultCounter::kIoRetries, 5);
+  tel.count(FaultCounter::kIoTimeouts);
+  tel.count(FaultCounter::kFailedBatches, 3);
+  EXPECT_EQ(tel.counter(FaultCounter::kIoErrors), 3u);
+  EXPECT_EQ(tel.counter(FaultCounter::kIoRetries), 5u);
+  EXPECT_EQ(tel.counter(FaultCounter::kIoTimeouts), 1u);
+  EXPECT_EQ(tel.counter(FaultCounter::kFailedBatches), 3u);
+  // The same values are visible as registry counters under fault.* names.
+  MetricsRegistry& reg = *tel.metrics();
+  EXPECT_EQ(reg.counter("fault.io_errors").value(), 3u);
+  EXPECT_EQ(reg.counter("fault.io_retries").value(), 5u);
+  EXPECT_EQ(reg.counter("fault.io_timeouts").value(), 1u);
+  EXPECT_EQ(reg.counter("fault.failed_batches").value(), 3u);
 }
 
 TEST(EnvKnobs, DefaultsAndParsing) {

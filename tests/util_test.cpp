@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -251,6 +252,86 @@ TEST(Percentile, ExactValues) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(RunningStat, MergeMatchesSingleStream) {
+  // Parallel Welford combine must reproduce the single-stream moments.
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(std::sin(static_cast<double>(i)) * 100.0 + i % 7);
+  }
+  RunningStat ground;
+  for (double x : xs) ground.add(x);
+
+  RunningStat parts[3];
+  for (std::size_t i = 0; i < xs.size(); ++i) parts[i % 3].add(xs[i]);
+  RunningStat merged;
+  for (const RunningStat& p : parts) merged.merge(p);
+
+  EXPECT_EQ(merged.count(), ground.count());
+  EXPECT_NEAR(merged.mean(), ground.mean(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), ground.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), ground.min());
+  EXPECT_DOUBLE_EQ(merged.max(), ground.max());
+  EXPECT_NEAR(merged.sum(), ground.sum(), 1e-9);
+}
+
+TEST(RunningStat, MergeEmptySides) {
+  RunningStat a, b;
+  a.merge(b);  // empty into empty
+  EXPECT_EQ(a.count(), 0u);
+  b.add(4.0);
+  a.merge(b);  // non-empty into empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  RunningStat c;
+  a.merge(c);  // empty into non-empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(LatencyHistogram, PercentileInterpolatesWithinBucket) {
+  // 100 identical samples at 3 us land in bucket (2, 4]. Every percentile of
+  // that distribution is 3; the estimate must never exceed the tracked max
+  // (the old nearest-rank answer was the bucket's upper bound, 4).
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.add_us(3.0);
+  for (double p : {0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GT(h.percentile_us(p), 2.0) << p;
+    EXPECT_LE(h.percentile_us(p), 3.0) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile_us(1.0), 3.0);
+}
+
+TEST(LatencyHistogram, PercentileAcrossBuckets) {
+  LatencyHistogram h;
+  // 90 samples at ~1.5 us (bucket (1,2]) and 10 at ~1000 us (bucket
+  // (512,1024]): p50 sits in the low bucket, p99 in the high one.
+  for (int i = 0; i < 90; ++i) h.add_us(1.5);
+  for (int i = 0; i < 10; ++i) h.add_us(1000.0);
+  EXPECT_GT(h.percentile_us(0.5), 1.0);
+  EXPECT_LE(h.percentile_us(0.5), 2.0);
+  EXPECT_GT(h.percentile_us(0.99), 512.0);
+  EXPECT_LE(h.percentile_us(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile_us(1.0), 1000.0);
+  // Out-of-range p clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.percentile_us(1.5), 1000.0);
+  EXPECT_GT(h.percentile_us(-0.5), 0.0);
+}
+
+TEST(LatencyHistogram, EmptyAndSingleSampleEdgeCases) {
+  LatencyHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile_us(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile_us(1.0), 0.0);
+  LatencyHistogram one;
+  one.add_us(37.0);
+  // A single sample: every percentile (including p=0) is that sample's
+  // bucket, clamped to the exact max.
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_GT(one.percentile_us(p), 32.0) << p;
+    EXPECT_LE(one.percentile_us(p), 37.0) << p;
+  }
+  EXPECT_DOUBLE_EQ(one.percentile_us(1.0), 37.0);
 }
 
 TEST(Telemetry, BucketsSplitIntervals) {
