@@ -9,6 +9,26 @@
 #            observability mode: runs one traced GNNDrive epoch, writes a
 #            Perfetto-loadable Chrome trace (default trace.json) plus the
 #            metrics/latency summary (see docs/observability.md).
+#        ./run_benches.sh --serve [output-file]
+#            serving smoke mode: runs the online-inference load generator
+#            (coalesced vs per-request closed loop, offered-load sweep,
+#            serving under SSD faults) plus the serve test suites
+#            (see docs/serving.md).
+if [ "$1" = "--serve" ]; then
+  shift
+  OUT="${1:-serve_smoke_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ serving smoke (bench/serve_latency + Serve* suites) ############"
+    timeout 580 build/bench/serve_latency 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tests/gnndrive_tests \
+      --gtest_filter='Serve*:FaultSoak.ServingUnder*' 2>&1
+    echo "[exit=$?]"
+    echo SERVE_SMOKE_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--trace" ]; then
   shift
   TRACE="${1:-trace.json}"

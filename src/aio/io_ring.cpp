@@ -29,7 +29,7 @@ IoRing::IoRing(SsdDevice& ssd, IoRingConfig config, PageCache* cache,
 IoRing::~IoRing() {
   // Device completions capture `this`; wait for them before tearing down.
   std::unique_lock lock(mu_);
-  all_done_.wait(lock, [&] { return in_flight_ == 0; });
+  all_done_.wait(lock, [&] { return in_flight_ == 0 && draining_ == 0; });
 }
 
 bool IoRing::prep_read(std::uint64_t offset, std::uint32_t len, void* buf,
@@ -59,7 +59,7 @@ void IoRing::complete(std::uint64_t ring_id, std::int32_t res) {
     inflight_.erase(it);
     cq_.push_back(Cqe{user_data, res});
     --in_flight_;
-    if (in_flight_ == 0) all_done_.notify_all();
+    ++draining_;  // holds the destructor open past the touches below
   }
   if (m_latency_ != nullptr) {
     m_latency_->add_us(
@@ -70,7 +70,13 @@ void IoRing::complete(std::uint64_t ring_id, std::int32_t res) {
   if (res < 0 && telemetry_ != nullptr) {
     telemetry_->count(FaultCounter::kIoErrors);
   }
+  // draining_ == 0 releases the destructor, so the decrement must be this
+  // thread's last touch of the ring — and both notifies stay under the lock
+  // so a woken waiter cannot destroy the condvars mid-notify.
+  std::lock_guard lock(mu_);
   cq_ready_.notify_one();
+  --draining_;
+  if (in_flight_ == 0 && draining_ == 0) all_done_.notify_all();
 }
 
 void IoRing::submit_one(const Sqe& sqe) {
@@ -152,7 +158,7 @@ unsigned IoRing::cancel_expired(Duration timeout) {
       cq_.push_back(Cqe{it->second.user_data, -ETIMEDOUT});
       inflight_.erase(it);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0 && draining_ == 0) all_done_.notify_all();
     }
     if (m_latency_ != nullptr) {
       m_latency_->add_us(

@@ -123,6 +123,7 @@ class IoRing : NonCopyable {
   std::unordered_map<std::uint64_t, InFlight> inflight_;  ///< by ring id
   std::uint64_t next_ring_id_ = 1;
   unsigned in_flight_ = 0;
+  unsigned draining_ = 0;  ///< device callbacks still inside complete()
 
   // Observability (resolved from telemetry's registry; null without it).
   // Multiple rings share the instruments: counters/histograms aggregate,

@@ -39,6 +39,7 @@ void FeatureBuffer::publish_standby_locked() {
 
 FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
   std::lock_guard lock(mu_);
+  GD_DCHECK_MSG(node < map_.size(), "check_and_ref on out-of-range node");
   Entry& e = map_[node];
   CheckResult result;
   if (e.valid) {
@@ -134,8 +135,12 @@ std::optional<SlotId> FeatureBuffer::wait_ready(NodeId node,
 }
 
 bool FeatureBuffer::retire_locked(NodeId node) {
+  GD_DCHECK_MSG(node < map_.size(), "release on out-of-range node");
   Entry& e = map_[node];
-  GD_CHECK_MSG(e.ref_count > 0, "release without reference");
+  // Refcount underflow means a double release (a serve- or release-path
+  // bug); failing loudly here beats silently pushing a live slot onto the
+  // standby list and corrupting whoever reuses it.
+  GD_CHECK_MSG(e.ref_count > 0, "release without reference (refcount underflow)");
   if (--e.ref_count != 0) return false;
   if (e.failed) {
     // Failed load fully resets at the last release: the slot (if one was

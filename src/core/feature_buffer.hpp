@@ -48,6 +48,17 @@ struct FeatureBufferStats {
   std::uint64_t loads = 0;         ///< nodes that required an SSD load
   std::uint64_t slot_waits = 0;    ///< times allocate_slot had to block
   std::uint64_t failed_loads = 0;  ///< nodes marked failed by an extractor
+
+  /// Total check_and_ref triages observed.
+  std::uint64_t lookups() const { return reuse_hits + wait_hits + loads; }
+  /// (reuse + wait) / lookups, guarded against the zero-lookup case (a
+  /// buffer that never served a batch reports 0, not NaN).
+  double hit_rate() const {
+    const std::uint64_t total = lookups();
+    return total > 0 ? static_cast<double>(reuse_hits + wait_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 };
 
 class FeatureBuffer : NonCopyable {

@@ -538,11 +538,11 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
       gpu_->memcpy_h2d_async(
           fb.slot_data(slot), src, row_bytes, [&fb, node, row, &tracker] {
             fb.mark_valid(node);
-            {
-              std::lock_guard lk(tracker.m);
-              ++tracker.transfers_done;
-              tracker.free_rows.push_back(row);
-            }
+            // Notify under the lock: the waiter owns the tracker's stack
+            // frame and may destroy it the moment the predicate holds.
+            std::lock_guard lk(tracker.m);
+            ++tracker.transfers_done;
+            tracker.free_rows.push_back(row);
             tracker.cv.notify_all();
           });
     } else {

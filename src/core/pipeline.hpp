@@ -111,6 +111,9 @@ class GnnDrive final : public TrainSystem {
   GnnModel& model() { return *model_; }
   FeatureBuffer& feature_buffer() { return *feature_buffer_; }
   GpuDevice* gpu() { return gpu_.get(); }
+  /// Effective configuration (after model-dim resolution and auto-shrink);
+  /// the serving subsystem reads the sampler setup from here.
+  const GnnDriveConfig& config() const { return config_; }
   std::uint32_t effective_extractors() const { return num_extractors_; }
   std::uint64_t max_batch_nodes() const { return max_batch_nodes_; }
 
@@ -150,10 +153,12 @@ class GnnDrive final : public TrainSystem {
   // GDS mode: device-side bounce area (Ne x ring_depth covering blocks)
   // replaces the host staging buffer.
   std::uint32_t gds_covering_bytes_ = 0;
-  DeviceAlloc gds_bounce_alloc_;
   std::vector<std::uint8_t> gds_bounce_;
 
+  // Every DeviceAlloc must be declared after gpu_: its destructor frees
+  // into the device, so it has to run before the device is torn down.
   std::unique_ptr<GpuDevice> gpu_;
+  DeviceAlloc gds_bounce_alloc_;
   DeviceAlloc feature_buffer_alloc_;
   DeviceAlloc model_state_alloc_;
   std::unique_ptr<FeatureBuffer> feature_buffer_;

@@ -1,0 +1,59 @@
+// Micro-batch coalescer for GNNDrive-Serve.
+//
+// Individual inference requests are tiny (one seed), but their sampled
+// fanouts overlap heavily — serving them one at a time repeats feature-
+// buffer lookups and SSD reads that a merged batch performs once. The
+// coalescer groups concurrent requests under two bounds:
+//
+//   * size:  at most `max_batch` requests per micro-batch, so a burst
+//            cannot grow the batch (and its extract latency) without limit;
+//   * time:  at most `max_wait_us` after the FIRST request was picked up,
+//            so a lone request under light load pays a bounded latency tax.
+//
+// The time bound rides on BoundedQueue::try_pop_for: a request that is
+// already queued is always preferred over the timeout, so under load the
+// window never adds idle waiting — it only fills.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace gnndrive {
+
+class MicroBatchCoalescer : NonCopyable {
+ public:
+  MicroBatchCoalescer(RequestQueue& queue, std::uint32_t max_batch,
+                      double max_wait_us)
+      : queue_(queue), max_batch_(std::max(max_batch, 1u)),
+        max_wait_(from_us(std::max(max_wait_us, 0.0))) {}
+
+  /// Blocks for the first request, then collects until the batch is full or
+  /// the wait window closes. An empty vector means the queue is closed and
+  /// drained (worker shutdown).
+  std::vector<PendingRequest> collect();
+
+  std::uint64_t batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  /// Mean requests per collected micro-batch (the "coalesce factor"; >= 1
+  /// once any batch ran, 0 before).
+  double coalesce_factor() const {
+    const std::uint64_t b = batches();
+    return b > 0 ? static_cast<double>(requests()) / static_cast<double>(b)
+                 : 0.0;
+  }
+
+ private:
+  RequestQueue& queue_;
+  const std::uint32_t max_batch_;
+  const Duration max_wait_;
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,646 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "sampling/topology.hpp"
+#include "util/logging.hpp"
+
+namespace gnndrive {
+
+namespace {
+
+/// Serve batch ids live far above training's ((epoch+1) << 24 | b) space so
+/// trace rows and log lines never collide.
+constexpr std::uint64_t kServeBatchBase = 1ull << 48;
+
+bool transient_error(std::int32_t res) {
+  return res == -EIO || res == -ETIMEDOUT;
+}
+
+ServeConfig resolve_serve_config(ServeConfig config, GnnDrive& host) {
+  if (config.sampler.fanouts.size() !=
+      host.model().config().num_layers) {
+    config.sampler = host.config().common.sampler;
+  }
+  return config;
+}
+
+}  // namespace
+
+const char* infer_status_name(InferStatus status) {
+  switch (status) {
+    case InferStatus::kOk: return "ok";
+    case InferStatus::kRejected: return "rejected";
+    case InferStatus::kShedDeadline: return "shed_deadline";
+    case InferStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string ServeReport::format() const {
+  std::string out;
+  char line[192];
+  const auto row = [&](const char* name, const StageLatency& s) {
+    std::snprintf(line, sizeof(line),
+                  "  %-8s n=%-5llu p50=%9.1fus p95=%9.1fus p99=%9.1fus "
+                  "mean=%9.1fus\n",
+                  name, static_cast<unsigned long long>(s.count), s.p50_us,
+                  s.p95_us, s.p99_us, s.mean_us);
+    out += line;
+  };
+  std::snprintf(line, sizeof(line),
+                "  requests submitted=%llu ok=%llu failed=%llu "
+                "rejected=%llu shed=%llu\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(shed_deadline));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  batching batches=%llu coalesce=%.2fx queue_max=%llu\n",
+                static_cast<unsigned long long>(batches), coalesce_factor,
+                static_cast<unsigned long long>(queue_depth_max));
+  out += line;
+  row("latency", latency);
+  row("qwait", queue_wait);
+  row("extract", extract);
+  row("infer", infer);
+  std::snprintf(line, sizeof(line),
+                "  fbuffer  hit-rate=%.1f%%  io_errors=%llu io_retries=%llu\n",
+                100.0 * fb_hit_rate,
+                static_cast<unsigned long long>(io_errors),
+                static_cast<unsigned long long>(io_retries));
+  out += line;
+  return out;
+}
+
+struct ServeEngine::WorkerState {
+  std::unique_ptr<MmapTopology> topo;
+  std::unique_ptr<IoRing> ring;
+  std::uint8_t* staging_base = nullptr;  ///< ring_depth covering rows
+  GnnModel* model = nullptr;             ///< this worker's forward replica
+};
+
+ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
+                         ServeSubstrate substrate)
+    : ctx_(ctx), config_(config), sub_(substrate),
+      sampler_(config_.sampler),
+      queue_(config_, ctx.telemetry),
+      coalescer_(queue_, config_.max_batch, config_.max_wait_us) {
+  GD_CHECK_MSG(ctx_.dataset != nullptr && ctx_.ssd != nullptr,
+               "ServeEngine needs a dataset and an SSD");
+  GD_CHECK_MSG(sub_.feature_buffer != nullptr && sub_.params != nullptr,
+               "ServeEngine needs a feature buffer and a parameter source");
+  GD_CHECK_MSG(config_.sampler.fanouts.size() ==
+                   sub_.params->config().num_layers,
+               "serve fanout depth must match the model's layer count");
+  config_.workers = std::max(config_.workers, 1u);
+  config_.ring_depth = std::max(config_.ring_depth, 1u);
+
+  const std::uint64_t slots = sub_.feature_buffer->num_slots();
+  GD_CHECK_MSG(slots > sub_.reserved_slots,
+               "no feature-buffer headroom beyond the training reserve");
+  pin_budget_ = slots - sub_.reserved_slots;
+
+  const Dataset& ds = *ctx_.dataset;
+  const auto row_bytes =
+      static_cast<std::uint32_t>(ds.layout().feature_row_bytes);
+  covering_row_bytes_ =
+      row_bytes % kSectorSize == 0
+          ? row_bytes
+          : static_cast<std::uint32_t>(round_up(row_bytes, kSectorSize)) +
+                kSectorSize;
+  const std::uint64_t staging_bytes =
+      static_cast<std::uint64_t>(config_.workers) * config_.ring_depth *
+      covering_row_bytes_;
+  if (ctx_.host_mem != nullptr) {
+    staging_pin_ = PinnedBytes(*ctx_.host_mem, staging_bytes, "serve-staging");
+  }
+  staging_.resize(staging_bytes);
+
+  // Per-worker forward replicas: GnnModel's forward caches are per-instance
+  // state, so the training model cannot be shared across serve workers.
+  for (std::uint32_t w = 0; w < config_.workers; ++w) {
+    replicas_.push_back(std::make_unique<GnnModel>(sub_.params->config()));
+    replicas_.back()->copy_params_from(*sub_.params);
+  }
+
+  if (ctx_.telemetry != nullptr) {
+    MetricsRegistry& reg = *ctx_.telemetry->metrics();
+    m_completed_ = &reg.counter("serve.completed");
+    m_failed_ = &reg.counter("serve.failed");
+    m_shed_ = &reg.counter("serve.shed_deadline");
+    m_batches_ = &reg.counter("serve.batches");
+    m_io_retries_ = &reg.counter("serve.io_retries");
+    m_io_errors_ = &reg.counter("serve.io_errors");
+    m_pinned_ = &reg.gauge("serve.pinned");
+    rm_latency_ = &reg.histogram("serve.latency.us");
+    rm_queue_wait_ = &reg.histogram("serve.queue_wait.us");
+    rm_extract_ = &reg.histogram("serve.extract.us");
+    rm_infer_ = &reg.histogram("serve.infer.us");
+    rm_batch_size_ = &reg.histogram("serve.batch.size");
+  }
+
+  GD_LOG_INFO("ServeEngine: workers=%u max_batch=%u wait=%.0fus "
+              "pin_budget=%llu",
+              config_.workers, config_.max_batch, config_.max_wait_us,
+              static_cast<unsigned long long>(pin_budget_));
+}
+
+ServeEngine::ServeEngine(const RunContext& ctx, ServeConfig config,
+                         GnnDrive& host)
+    : ServeEngine(ctx, resolve_serve_config(std::move(config), host),
+                  ServeSubstrate{
+                      &host.feature_buffer(), &host.model(), host.gpu(),
+                      static_cast<std::uint64_t>(host.effective_extractors()) *
+                          host.max_batch_nodes()}) {}
+
+ServeEngine::~ServeEngine() {
+  // Join without rethrowing: destructors must not throw. stop() is the
+  // polite path that surfaces worker errors.
+  if (running_) {
+    queue_.close();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+    running_ = false;
+  }
+}
+
+void ServeEngine::start() {
+  GD_CHECK_MSG(!running_, "ServeEngine::start called twice");
+  fb_at_start_ = sub_.feature_buffer->stats();
+  running_ = true;
+  for (std::uint32_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] {
+      try {
+        worker_loop(w);
+      } catch (...) {
+        {
+          std::lock_guard lk(err_mu_);
+          if (!error_) error_ = std::current_exception();
+        }
+        queue_.close();  // fail fast: stop admitting, wake siblings
+      }
+    });
+  }
+}
+
+std::future<InferResult> ServeEngine::submit(NodeId node) {
+  return queue_.submit(node);
+}
+
+void ServeEngine::stop() {
+  if (!running_) return;
+  queue_.close();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  running_ = false;
+  std::lock_guard lk(err_mu_);
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ServeEngine::refresh_params() {
+  for (auto& r : replicas_) r->copy_params_from(*sub_.params);
+}
+
+void ServeEngine::acquire_pins(std::uint64_t n) {
+  std::unique_lock lk(pin_mu_);
+  pin_cv_.wait(lk, [&] { return pin_budget_ - pins_in_use_ >= n; });
+  pins_in_use_ += n;
+  if (m_pinned_ != nullptr) {
+    m_pinned_->set(static_cast<std::int64_t>(pins_in_use_));
+  }
+}
+
+void ServeEngine::release_pins(std::uint64_t n) {
+  {
+    std::lock_guard lk(pin_mu_);
+    GD_CHECK_MSG(pins_in_use_ >= n, "serve pin accounting underflow");
+    pins_in_use_ -= n;
+    if (m_pinned_ != nullptr) {
+      m_pinned_->set(static_cast<std::int64_t>(pins_in_use_));
+    }
+  }
+  pin_cv_.notify_all();
+}
+
+void ServeEngine::finish(PendingRequest& r, InferStatus status,
+                         std::int32_t cls, std::uint32_t coalesced,
+                         TimePoint done) {
+  InferResult res;
+  res.request_id = r.id;
+  res.status = status;
+  res.predicted_class = cls;
+  res.queue_us = r.queue_us;
+  res.total_us = to_seconds(done - r.arrival) * 1e6;
+  res.coalesced_with = coalesced;
+  switch (status) {
+    case InferStatus::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (m_completed_ != nullptr) m_completed_->add();
+      // The SLO latency distribution covers served requests only; shed and
+      // failed requests are counted, not timed.
+      h_latency_.add_us(res.total_us);
+      if (rm_latency_ != nullptr) rm_latency_->add_us(res.total_us);
+      break;
+    case InferStatus::kShedDeadline:
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      if (m_shed_ != nullptr) m_shed_->add();
+      break;
+    case InferStatus::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (m_failed_ != nullptr) m_failed_->add();
+      break;
+    case InferStatus::kRejected:
+      break;  // resolved by the queue, never reaches here
+  }
+  r.promise.set_value(std::move(res));
+}
+
+void ServeEngine::worker_loop(std::uint32_t worker_id) {
+  WorkerState ws;
+  ws.topo = std::make_unique<MmapTopology>(*ctx_.dataset, *ctx_.page_cache);
+  IoRingConfig rc;
+  rc.queue_depth = config_.ring_depth;
+  rc.direct = true;  // serving always bypasses the page cache, like training
+  ws.ring = std::make_unique<IoRing>(*ctx_.ssd, rc, nullptr, ctx_.telemetry);
+  ws.staging_base = staging_.data() + static_cast<std::uint64_t>(worker_id) *
+                                          config_.ring_depth *
+                                          covering_row_bytes_;
+  ws.model = replicas_[worker_id].get();
+  for (;;) {
+    auto batch = coalescer_.collect();
+    if (batch.empty()) return;  // queue closed & drained
+    process_batch(std::move(batch), ws);
+  }
+}
+
+void ServeEngine::process_batch(std::vector<PendingRequest>&& batch,
+                                WorkerState& ws) {
+  const std::uint64_t batch_id =
+      kServeBatchBase |
+      (next_batch_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  SpanTracer* tracer =
+      ctx_.telemetry != nullptr ? ctx_.telemetry->tracer() : nullptr;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const auto coalesced = static_cast<std::uint32_t>(batch.size());
+  if (m_batches_ != nullptr) m_batches_->add();
+  if (rm_batch_size_ != nullptr) {
+    rm_batch_size_->add_us(static_cast<double>(coalesced));
+  }
+
+  // Deadline shedding: a request whose SLO already expired while queued is
+  // resolved immediately — spending I/O on it cannot make it on-time, and
+  // dropping it shrinks the batch for everyone behind it.
+  const TimePoint picked = Clock::now();
+  std::vector<PendingRequest> active;
+  active.reserve(batch.size());
+  for (PendingRequest& r : batch) {
+    r.queue_us = to_seconds(picked - r.arrival) * 1e6;
+    h_queue_wait_.add_us(r.queue_us);
+    if (rm_queue_wait_ != nullptr) rm_queue_wait_->add_us(r.queue_us);
+    if (r.has_deadline && config_.slo.shed_expired && picked > r.deadline) {
+      finish(r, InferStatus::kShedDeadline, -1, coalesced, picked);
+    } else {
+      active.push_back(std::move(r));
+    }
+  }
+  if (active.empty()) return;
+
+  // Merge the surviving requests into one sampled batch. The sampler
+  // dedupes repeated seeds; seed_row maps each request back to its logits
+  // row (first occurrence wins).
+  std::vector<NodeId> seeds;
+  seeds.reserve(active.size());
+  std::vector<std::uint32_t> seed_row(active.size(), 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    std::uint32_t row = 0;
+    while (row < seeds.size() && seeds[row] != active[i].node) ++row;
+    if (row == seeds.size()) seeds.push_back(active[i].node);
+    seed_row[i] = row;
+  }
+  const TimePoint ts = Clock::now();
+  SampledBatch sb;
+  {
+    BusyScope busy(ctx_.telemetry);
+    sb = sampler_.sample(batch_id, seeds, *ws.topo, nullptr);
+  }
+  if (tracing) tracer->record(kSpanServeSample, batch_id, 0, ts, Clock::now());
+
+  bool served = false;
+  std::vector<std::int32_t> pred(active.size(), -1);
+  const std::uint64_t need = sb.num_nodes();
+  if (need > pin_budget_) {
+    // The batch cannot fit the serve share of the buffer even alone;
+    // admitting it to check_and_ref could deadlock against training.
+    log_structured(LogLevel::kWarn, "serve_batch_over_budget",
+                   {kv("batch", batch_id), kv("nodes", need),
+                    kv("budget", pin_budget_)});
+  } else {
+    acquire_pins(need);
+    const TimePoint te = Clock::now();
+    const bool extracted = extract_batch(sb, ws);
+    const double extract_us = to_seconds(Clock::now() - te) * 1e6;
+    h_extract_.add_us(extract_us);
+    if (rm_extract_ != nullptr) rm_extract_->add_us(extract_us);
+    if (tracing) {
+      tracer->record(kSpanServeExtract, batch_id, 0, te, Clock::now());
+    }
+    if (extracted) {
+      const TimePoint ti = Clock::now();
+      const std::uint32_t dim = ctx_.dataset->spec().feature_dim;
+      Tensor x0(static_cast<std::uint32_t>(sb.num_nodes()), dim);
+      Tensor logits;
+      const auto run = [&] {
+        for (std::uint32_t i = 0; i < sb.num_nodes(); ++i) {
+          GD_CHECK_MSG(sb.alias[i] != kNoSlot, "untracked node at infer time");
+          std::memcpy(x0.row(i), sub_.feature_buffer->slot_data(sb.alias[i]),
+                      dim * 4);
+        }
+        logits = ws.model->forward(sb, x0);
+      };
+      if (sub_.gpu != nullptr) {
+        sub_.gpu->launch(run);
+      } else {
+        BusyScope busy(ctx_.telemetry);
+        run();
+      }
+      const double infer_us = to_seconds(Clock::now() - ti) * 1e6;
+      h_infer_.add_us(infer_us);
+      if (rm_infer_ != nullptr) rm_infer_->add_us(infer_us);
+      if (tracing) {
+        tracer->record(kSpanServeInfer, batch_id, 0, ti, Clock::now());
+      }
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const float* row = logits.row(seed_row[i]);
+        std::uint32_t best = 0;
+        for (std::uint32_t c = 1; c < logits.cols(); ++c) {
+          if (row[c] > row[best]) best = c;
+        }
+        pred[i] = static_cast<std::int32_t>(best);
+      }
+      served = true;
+    }
+    // Success or failure, every reference taken in pass 1 is dropped here —
+    // the zero-slot-leak guarantee the fault tests pin down.
+    sub_.feature_buffer->release(sb.nodes);
+    release_pins(need);
+  }
+
+  const TimePoint done = Clock::now();
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    finish(active[i], served ? InferStatus::kOk : InferStatus::kFailed,
+           pred[i], coalesced, done);
+  }
+}
+
+bool ServeEngine::extract_batch(SampledBatch& batch, WorkerState& ws) {
+  // Structure mirrors GnnDrive::extract_batch's staging path (Algorithm 1
+  // plus the fault-tolerance layer), with serving-oriented simplifications:
+  // retries use a flat short delay instead of exponential backoff (a serve
+  // batch would rather fail fast than sit out a long backoff), and there is
+  // no GDS/buffered-I/O variant.
+  FeatureBuffer& fb = *sub_.feature_buffer;
+  const OnDiskLayout& lay = ctx_.dataset->layout();
+  const auto row_bytes = static_cast<std::uint32_t>(lay.feature_row_bytes);
+  const Duration req_timeout = from_us(config_.request_timeout_ms * 1e3);
+  const Duration poll =
+      std::max(from_us(config_.request_timeout_ms * 1e3 / 4), from_us(500.0));
+  const Duration wait_list_timeout = from_us(config_.wait_list_timeout_ms * 1e3);
+  const Duration retry_delay = from_us(std::max(config_.retry_delay_us, 0.0));
+
+  std::vector<std::uint32_t> wait_idx;
+  std::vector<std::uint32_t> load_idx;
+  {
+    BusyScope busy(ctx_.telemetry);
+    for (std::uint32_t i = 0; i < batch.nodes.size(); ++i) {
+      const auto r = fb.check_and_ref(batch.nodes[i]);
+      switch (r.status) {
+        case FeatureBuffer::CheckStatus::kReady:
+          batch.alias[i] = r.slot;
+          break;
+        case FeatureBuffer::CheckStatus::kInFlight:
+          wait_idx.push_back(i);
+          break;
+        case FeatureBuffer::CheckStatus::kMustLoad:
+          load_idx.push_back(i);
+          break;
+      }
+    }
+  }
+
+  struct TransferTracker {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<unsigned> free_rows;
+    std::size_t transfers_done = 0;
+  } tracker;
+  for (unsigned r = 0; r < config_.ring_depth; ++r) {
+    tracker.free_rows.push_back(r);
+  }
+  const std::size_t n_load = load_idx.size();
+  std::vector<unsigned> row_of(n_load, 0);
+  std::vector<std::uint32_t> attempts(n_load, 0);
+
+  std::size_t submitted = 0;
+  std::size_t resolved = 0;
+  std::size_t inflight = 0;
+  std::size_t transfers_started = 0;
+  bool failed = false;
+
+  const auto submit_read = [&](std::size_t j) {
+    const NodeId node = batch.nodes[load_idx[j]];
+    const std::uint64_t off = lay.feature_offset_of(node);
+    const std::uint64_t base = round_down(off, kSectorSize);
+    const auto len = static_cast<std::uint32_t>(
+        round_up(off + row_bytes, kSectorSize) - base);
+    GD_CHECK(len <= covering_row_bytes_);
+    std::uint8_t* dst = ws.staging_base + row_of[j] * covering_row_bytes_;
+    ws.ring->prep_read(base, len, dst, j);
+    ws.ring->submit();
+    ++inflight;
+  };
+  const auto free_row = [&](unsigned row) {
+    {
+      std::lock_guard lk(tracker.m);
+      tracker.free_rows.push_back(row);
+    }
+    tracker.cv.notify_all();
+  };
+
+  while (resolved < n_load) {
+    while (!failed && submitted < n_load) {
+      unsigned row;
+      {
+        std::lock_guard lk(tracker.m);
+        if (tracker.free_rows.empty()) break;
+        row = tracker.free_rows.back();
+        tracker.free_rows.pop_back();
+      }
+      const std::size_t j = submitted++;
+      row_of[j] = row;
+      const std::uint32_t i = load_idx[j];
+      const NodeId node = batch.nodes[i];
+      // Cannot deadlock: the pin budget guarantees the serve share of the
+      // standby list can cover this batch, and training's reserve covers
+      // its own extractors.
+      batch.alias[i] = fb.allocate_slot(node);
+      submit_read(j);
+    }
+    if (failed && submitted < n_load) {
+      // Unwind loads never submitted: their refs are owed but no slot was
+      // allocated; waiters see the failure and fail their own batch.
+      for (std::size_t j = submitted; j < n_load; ++j) {
+        fb.mark_failed(batch.nodes[load_idx[j]]);
+        ++resolved;
+      }
+      submitted = n_load;
+      continue;
+    }
+    if (inflight == 0) {
+      if (resolved == n_load) break;
+      // Nothing to reap; wait for an in-flight transfer to free a row.
+      ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
+      std::unique_lock lk(tracker.m);
+      tracker.cv.wait(lk, [&] { return !tracker.free_rows.empty(); });
+      continue;
+    }
+    const auto cqe_opt = ws.ring->wait_cqe_for(poll);
+    if (!cqe_opt.has_value()) {
+      // Watchdog: overdue requests become -ETIMEDOUT completions, so a
+      // stuck device cannot wedge the serve worker.
+      ws.ring->cancel_expired(req_timeout);
+      continue;
+    }
+    --inflight;
+    const std::size_t j = cqe_opt->user_data;
+    const std::uint32_t i = load_idx[j];
+    const NodeId node = batch.nodes[i];
+    if (cqe_opt->res < 0) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (m_io_errors_ != nullptr) m_io_errors_->add();
+      if (ctx_.telemetry != nullptr) {
+        ctx_.telemetry->count(FaultCounter::kIoErrors);
+        if (cqe_opt->res == -ETIMEDOUT) {
+          ctx_.telemetry->count(FaultCounter::kIoTimeouts);
+        }
+      }
+      if (!failed && transient_error(cqe_opt->res) &&
+          attempts[j] < config_.max_retries) {
+        ++attempts[j];
+        io_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (m_io_retries_ != nullptr) m_io_retries_->add();
+        if (ctx_.telemetry != nullptr) {
+          ctx_.telemetry->count(FaultCounter::kIoRetries);
+        }
+        if (retry_delay > Duration::zero()) {
+          std::this_thread::sleep_for(retry_delay);
+        }
+        submit_read(j);  // keeps its staging row
+        continue;
+      }
+      if (!failed) {
+        log_structured(LogLevel::kWarn, "serve_extract_failed",
+                       {kv("batch", batch.batch_id), kv("node", node),
+                        kv("res", cqe_opt->res), kv("attempts", attempts[j])});
+      }
+      fb.mark_failed(node);
+      free_row(row_of[j]);
+      ++resolved;
+      failed = true;
+      continue;
+    }
+    ++resolved;
+    const SlotId slot = batch.alias[i];
+    const unsigned row = row_of[j];
+    const std::uint64_t off = lay.feature_offset_of(node);
+    const std::uint64_t base = round_down(off, kSectorSize);
+    const std::uint8_t* src =
+        ws.staging_base + row * covering_row_bytes_ + (off - base);
+    ++transfers_started;
+    if (sub_.gpu != nullptr) {
+      sub_.gpu->memcpy_h2d_async(
+          fb.slot_data(slot), src, row_bytes, [&fb, node, row, &tracker] {
+            fb.mark_valid(node);
+            // Notify under the lock: the waiter owns the tracker's stack
+            // frame and may destroy it the moment the predicate holds.
+            std::lock_guard lk(tracker.m);
+            ++tracker.transfers_done;
+            tracker.free_rows.push_back(row);
+            tracker.cv.notify_all();
+          });
+    } else {
+      std::memcpy(fb.slot_data(slot), src, row_bytes);
+      fb.mark_valid(node);
+      std::lock_guard lk(tracker.m);
+      ++tracker.transfers_done;
+      tracker.free_rows.push_back(row);
+    }
+  }
+
+  // Always drain transfers — their callbacks touch this stack frame.
+  if (sub_.gpu != nullptr && transfers_started > 0) {
+    ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
+    std::unique_lock lk(tracker.m);
+    tracker.cv.wait(lk,
+                    [&] { return tracker.transfers_done == transfers_started; });
+  }
+
+  // Wait-list resolution: nodes a training extractor (or a sibling serve
+  // worker) is loading. The loader always resolves them; the timeout only
+  // fires if that thread died, and the serve batch fails instead of hanging.
+  for (std::uint32_t i : wait_idx) {
+    if (failed) break;  // refs released by the caller
+    const auto slot = fb.wait_ready(batch.nodes[i], wait_list_timeout);
+    if (!slot.has_value() || *slot == kNoSlot) {
+      failed = true;
+      break;
+    }
+    batch.alias[i] = *slot;
+  }
+  return !failed;
+}
+
+ServeReport ServeEngine::report() const {
+  ServeReport r;
+  r.submitted = queue_.submitted();
+  r.rejected = queue_.rejected();
+  r.completed = completed_.load(std::memory_order_relaxed);
+  r.failed = failed_.load(std::memory_order_relaxed);
+  r.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  r.batches = coalescer_.batches();
+  r.coalesce_factor = coalescer_.coalesce_factor();
+  r.io_errors = io_errors_.load(std::memory_order_relaxed);
+  r.io_retries = io_retries_.load(std::memory_order_relaxed);
+  const auto fill = [](StageLatency& s, const ConcurrentHistogram& h) {
+    const LatencyHistogram lh = h.snapshot();
+    s.count = lh.count();
+    s.mean_us = lh.mean_us();
+    s.p50_us = lh.percentile_us(0.50);
+    s.p95_us = lh.percentile_us(0.95);
+    s.p99_us = lh.percentile_us(0.99);
+  };
+  fill(r.queue_wait, h_queue_wait_);
+  fill(r.extract, h_extract_);
+  fill(r.infer, h_infer_);
+  fill(r.latency, h_latency_);
+  const FeatureBufferStats now = sub_.feature_buffer->stats();
+  FeatureBufferStats delta;
+  delta.reuse_hits = now.reuse_hits - fb_at_start_.reuse_hits;
+  delta.wait_hits = now.wait_hits - fb_at_start_.wait_hits;
+  delta.loads = now.loads - fb_at_start_.loads;
+  r.fb_hit_rate = delta.hit_rate();
+  r.queue_depth_max = queue_.max_depth();
+  return r;
+}
+
+}  // namespace gnndrive

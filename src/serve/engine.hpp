@@ -1,0 +1,160 @@
+// GNNDrive-Serve: online inference over the training substrates.
+//
+// The serving path reuses exactly the machinery the paper builds for
+// training — the refcounted feature buffer (Sect. 4.2), direct asynchronous
+// SSD reads through an io_uring-style ring, and recycled staging rows — but
+// drives it from a latency-oriented front end:
+//
+//   submit() --> RequestQueue (admission control, deadline stamping)
+//            --> MicroBatchCoalescer (size/time-bounded batching)
+//            --> N serve workers: shed expired -> sample merged seeds ->
+//                extract via Algorithm 1 (shared FeatureBuffer) ->
+//                forward-only pass -> resolve futures -> release refs
+//
+// Sharing the feature buffer with a concurrently-training pipeline is the
+// point: inference hits features training already paid to load, and vice
+// versa. Two disciplines make the sharing safe:
+//
+//   * Pin budget. Training's deadlock-freedom argument reserves Ne x Mb
+//     slots for its extractors. Serving acquires its sampled node count
+//     against a counting semaphore of (num_slots - reserved_slots) BEFORE
+//     touching check_and_ref, so serve pins can never eat into training's
+//     reserve — neither side can deadlock the other. A micro-batch larger
+//     than the whole serve budget fails cleanly instead of wedging.
+//   * Whole-batch failure granularity. An unrecoverable read fails the
+//     micro-batch exactly like a training batch: unresolved loads are
+//     marked failed (waking cross-batch waiters), every reference is
+//     released, and each request's future resolves with kFailed. Training
+//     batches that were waiting on those nodes retry the load from scratch
+//     — an EIO during serving degrades the affected requests, never the
+//     training run.
+//
+// Forward passes run on per-worker model replicas (GnnModel's forward
+// caches are not thread-safe) refreshed from the shared parameter source
+// via refresh_params(); with a GpuDevice they are attributed as kernel
+// launches, otherwise as CPU busy time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/request_queue.hpp"
+
+namespace gnndrive {
+
+/// Serving span names (Chrome-trace rows, like the kSpan* training stages).
+inline constexpr const char* kSpanServeSample = "serve.sample";
+inline constexpr const char* kSpanServeExtract = "serve.extract";
+inline constexpr const char* kSpanServeInfer = "serve.infer";
+
+/// The pieces serving shares with training. All pointers are borrowed and
+/// must outlive the engine; `gpu` may be null (host inference).
+struct ServeSubstrate {
+  FeatureBuffer* feature_buffer = nullptr;
+  GnnModel* params = nullptr;  ///< parameter source for the worker replicas
+  GpuDevice* gpu = nullptr;
+  /// Feature-buffer slots reserved for the training pipeline's deadlock
+  /// freedom (Ne x Mb); serving pins only what lies beyond this.
+  std::uint64_t reserved_slots = 0;
+};
+
+class ServeEngine : NonCopyable {
+ public:
+  ServeEngine(const RunContext& ctx, const ServeConfig& config,
+              ServeSubstrate substrate);
+  /// Convenience: serve alongside (or after) training on `host`, sharing
+  /// its feature buffer, model parameters and GPU, honouring its Ne x Mb
+  /// reserve. An empty config.sampler.fanouts defaults to the training
+  /// fanouts (the fanout depth must match the model's layer count).
+  ServeEngine(const RunContext& ctx, ServeConfig config, GnnDrive& host);
+  ~ServeEngine();
+
+  void start();
+  /// Admission-controlled submit; never blocks. Valid before start() (the
+  /// backlog is served once workers run) and after stop() (rejects).
+  std::future<InferResult> submit(NodeId node);
+  /// Closes admission, serves out the backlog, joins the workers. Rethrows
+  /// the first worker exception, if any.
+  void stop();
+  bool running() const { return running_; }
+
+  /// Re-copies parameters from the substrate's source model (e.g. after
+  /// further training epochs). Not concurrent with in-flight inference.
+  void refresh_params();
+
+  /// Aggregate serving report (also published under "serve.*" metrics).
+  ServeReport report() const;
+  /// Max nodes serving may pin concurrently (num_slots - reserved_slots).
+  std::uint64_t pin_budget() const { return pin_budget_; }
+
+ private:
+  struct WorkerState;
+  void worker_loop(std::uint32_t worker_id);
+  void process_batch(std::vector<PendingRequest>&& batch, WorkerState& ws);
+  /// Algorithm-1 extraction for a serve micro-batch; returns false when the
+  /// batch failed permanently (references still held — caller releases).
+  bool extract_batch(SampledBatch& batch, WorkerState& ws);
+  void acquire_pins(std::uint64_t n);
+  void release_pins(std::uint64_t n);
+  void finish(PendingRequest& r, InferStatus status, std::int32_t cls,
+              std::uint32_t coalesced, TimePoint done);
+
+  RunContext ctx_;
+  ServeConfig config_;
+  ServeSubstrate sub_;
+  NeighborSampler sampler_;
+  RequestQueue queue_;
+  MicroBatchCoalescer coalescer_;
+
+  // Counting semaphore over the serve share of feature-buffer slots.
+  std::uint64_t pin_budget_ = 0;
+  std::mutex pin_mu_;
+  std::condition_variable pin_cv_;
+  std::uint64_t pins_in_use_ = 0;
+
+  std::uint32_t covering_row_bytes_ = 0;
+  PinnedBytes staging_pin_;
+  std::vector<std::uint8_t> staging_;  ///< workers x ring_depth rows
+
+  std::vector<std::unique_ptr<GnnModel>> replicas_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_batch_seq_{0};
+  bool running_ = false;
+
+  std::mutex err_mu_;
+  std::exception_ptr error_;
+
+  // Run accounting (always on) + optional registry mirrors.
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> io_errors_{0};
+  std::atomic<std::uint64_t> io_retries_{0};
+  ConcurrentHistogram h_queue_wait_;
+  ConcurrentHistogram h_extract_;
+  ConcurrentHistogram h_infer_;
+  ConcurrentHistogram h_latency_;
+  FeatureBufferStats fb_at_start_{};
+  Counter* m_completed_ = nullptr;      ///< serve.completed
+  Counter* m_failed_ = nullptr;         ///< serve.failed
+  Counter* m_shed_ = nullptr;           ///< serve.shed_deadline
+  Counter* m_batches_ = nullptr;        ///< serve.batches
+  Counter* m_io_retries_ = nullptr;     ///< serve.io_retries
+  Counter* m_io_errors_ = nullptr;      ///< serve.io_errors
+  Gauge* m_pinned_ = nullptr;           ///< serve.pinned (nodes pinned)
+  ConcurrentHistogram* rm_latency_ = nullptr;     ///< serve.latency.us
+  ConcurrentHistogram* rm_queue_wait_ = nullptr;  ///< serve.queue_wait.us
+  ConcurrentHistogram* rm_extract_ = nullptr;     ///< serve.extract.us
+  ConcurrentHistogram* rm_infer_ = nullptr;       ///< serve.infer.us
+  ConcurrentHistogram* rm_batch_size_ = nullptr;  ///< serve.batch.size
+};
+
+}  // namespace gnndrive

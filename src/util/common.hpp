@@ -58,6 +58,20 @@ class SimOutOfMemory : public std::runtime_error {
     if (!(cond)) ::gnndrive::fatal(__FILE__, __LINE__, msg);  \
   } while (0)
 
+// Debug-build-only invariant checks: compiled out under NDEBUG so they can
+// sit on hot paths (per-node refcount bookkeeping) without release cost.
+#ifndef NDEBUG
+#define GD_DCHECK(cond) GD_CHECK(cond)
+#define GD_DCHECK_MSG(cond, msg) GD_CHECK_MSG(cond, msg)
+#else
+#define GD_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#define GD_DCHECK_MSG(cond, msg) \
+  do {                           \
+  } while (0)
+#endif
+
 /// Rounds `v` up to a multiple of `align` (power of two not required).
 constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
   return (v + align - 1) / align * align;

@@ -93,6 +93,41 @@ class BoundedQueue : NonCopyable {
     return item;
   }
 
+  /// Non-blocking push: false when the queue is full or closed (the item is
+  /// handed back untouched in that case). This is the admission-control
+  /// primitive of the serving path — a full queue sheds instead of blocking
+  /// the client.
+  bool try_push(T& item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    note_depth_locked();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Timed pop: blocks until an item arrives, the queue closes, or `timeout`
+  /// elapses, whichever comes first. An item that is already queued (or
+  /// arrives within the window) is always returned in preference to the
+  /// timeout — a wakeup racing the deadline re-checks the queue under the
+  /// lock before giving up. Empty optional means timeout, or closed and
+  /// drained; distinguish via closed() if needed. Used by the micro-batch
+  /// coalescer's max-wait window and usable by watchdog polls.
+  std::optional<T> try_pop_for(Duration timeout) {
+    std::unique_lock lock(mu_);
+    if (pop_blocked_ != nullptr && items_.empty() && !closed_) {
+      pop_blocked_->add();
+    }
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    note_depth_locked();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Wakes all blocked producers/consumers; subsequent pushes fail and pops
   /// drain the remaining items then return nullopt.
   void close() {

@@ -7,9 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <future>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "core/pipeline.hpp"
+#include "serve/engine.hpp"
 
 namespace gnndrive {
 namespace {
@@ -212,6 +216,76 @@ TEST_F(FaultSoak, BadSectorRangeFailsOnlyAffectedBatches) {
   EXPECT_GT(stats.result.io_errors, 0u);
   EXPECT_EQ(env.telemetry->counter(FaultCounter::kFailedBatches),
             stats.result.failed_batches);
+
+  expect_byte_exact_features(system);
+  expect_no_leaks(system);
+}
+
+TEST_F(FaultSoak, ServingUnderBadSectorsDegradesWithoutPoisoningTraining) {
+  auto env = make_env();
+  // The same permanently-bad feature rows as BadSectorRangeFailsOnlyAffected-
+  // Batches, but now an inference engine shares the feature buffer with a
+  // concurrently-training epoch. Requests that need a bad row must fail
+  // cleanly after exhausting serve-side retries; clean requests and the
+  // training run itself must be unaffected, and no reference may leak on
+  // either path.
+  const auto& lay = dataset->layout();
+  const std::uint64_t bad_row = dataset->spec().num_nodes / 2;
+  SsdFaultConfig faults;
+  faults.enabled = true;
+  faults.bad_ranges.push_back(
+      {lay.features_offset + bad_row * lay.feature_row_bytes,
+       lay.features_offset + (bad_row + 8) * lay.feature_row_bytes});
+  env.ssd->set_fault_config(faults);
+
+  GnnDriveConfig cfg = base_config();
+  cfg.fault.backoff_initial_us = 10.0;  // the range never heals; fail fast
+  GnnDrive system(env.ctx, cfg);
+
+  ServeConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 256;
+  scfg.max_batch = 4;
+  scfg.slo.deadline_ms = 0.0;
+  scfg.retry_delay_us = 10.0;
+  ServeEngine engine(env.ctx, scfg, system);
+  engine.start();
+
+  EpochStats stats;
+  std::thread trainer([&] { stats = system.run_epoch(0); });
+
+  // Clean requests first (low-id seeds, far from the bad rows), then
+  // requests aimed straight at the bad range.
+  std::vector<std::future<InferResult>> good, bad;
+  const NodeId n = dataset->spec().num_nodes;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    good.push_back(engine.submit((i * 7919u) % (n / 4)));
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    bad.push_back(engine.submit(static_cast<NodeId>(bad_row + i)));
+  }
+  trainer.join();
+  std::uint32_t good_ok = 0;
+  for (auto& f : good) good_ok += f.get().status == InferStatus::kOk ? 1 : 0;
+  for (auto& f : bad) EXPECT_EQ(f.get().status, InferStatus::kFailed);
+  engine.stop();
+
+  // Serving degraded exactly where the disk is bad: the bad-seed batches
+  // exhausted their retries (micro-batch failure granularity means a clean
+  // request coalesced next to a bad row fails with it — hence the margin).
+  const ServeReport rep = engine.report();
+  EXPECT_GE(rep.failed, 8u);
+  EXPECT_GT(rep.io_errors, 0u);
+  EXPECT_GT(rep.io_retries, 0u);
+  EXPECT_GT(good_ok, 48u);
+
+  // Training was not poisoned by the failing serve batches: the epoch
+  // completed with every batch accounted for and the unaffected majority
+  // trained (training samples the bad rows too, so some of its own batches
+  // may fail — that is BadSectorRange's territory, not serving's fault).
+  EXPECT_EQ(stats.result.trained_batches + stats.result.failed_batches,
+            stats.batches);
+  EXPECT_GT(stats.result.trained_batches, 0u);
 
   expect_byte_exact_features(system);
   expect_no_leaks(system);

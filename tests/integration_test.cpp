@@ -65,6 +65,17 @@ Dataset* IntegrationFixture::dataset = nullptr;
 TEST_F(IntegrationFixture, GnnDriveBeatsPygPlusUnderContention) {
   // The paper's headline: under memory pressure GNNDrive-GPU is several
   // times faster than PyG+. Assert a conservative 2x.
+  //
+  // Sanitizer slowdown shifts the compute/I/O balance (compute runs at
+  // instrumented speed, the simulated devices on wall-clock), compressing
+  // the speedup this test asserts — skip the ratio check there.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "wall-clock speedup ratio; sanitizer slowdown distorts it";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  GTEST_SKIP() << "wall-clock speedup ratio; sanitizer slowdown distorts it";
+#endif
+#endif
   auto env1 = make_env();
   GnnDriveConfig gd_cfg;
   gd_cfg.common = common();

@@ -65,6 +65,58 @@ TEST(BoundedQueue, TryPopNonBlocking) {
   EXPECT_EQ(q.try_pop().value(), 3);
 }
 
+TEST(BoundedQueue, TryPushShedsWhenFullAndKeepsTheItem) {
+  BoundedQueue<std::vector<int>> q(1);
+  std::vector<int> a{1, 2, 3};
+  EXPECT_TRUE(q.try_push(a));  // accepted: moved out
+  std::vector<int> b{4, 5};
+  EXPECT_FALSE(q.try_push(b));             // full: shed
+  EXPECT_EQ(b, (std::vector<int>{4, 5}));  // ...and untouched
+  q.close();
+  EXPECT_FALSE(q.try_push(b));  // closed: shed too
+  EXPECT_EQ(b, (std::vector<int>{4, 5}));
+}
+
+TEST(BoundedQueue, TryPopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(2);
+  const TimePoint t0 = Clock::now();
+  EXPECT_FALSE(q.try_pop_for(from_us(5000.0)).has_value());
+  // The wait honoured (roughly) the window: no early return, no hang.
+  const double waited_us = to_seconds(Clock::now() - t0) * 1e6;
+  EXPECT_GE(waited_us, 4000.0);
+}
+
+TEST(BoundedQueue, TryPopForPrefersQueuedItemOverElapsedTimeout) {
+  // Wakeup-vs-timeout ordering: an item that is already present must win
+  // even when the timeout is zero (or has raced to expiry) — the consumer
+  // re-checks the queue under the lock before giving up.
+  BoundedQueue<int> q(2);
+  q.push(11);
+  EXPECT_EQ(q.try_pop_for(Duration::zero()).value(), 11);
+}
+
+TEST(BoundedQueue, TryPopForReturnsItemArrivingWithinWindow) {
+  BoundedQueue<int> q(2);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.push(42);
+  });
+  // Generous window: the item arrives well before it closes.
+  EXPECT_EQ(q.try_pop_for(from_us(2e6)).value(), 42);
+  producer.join();
+}
+
+TEST(BoundedQueue, TryPopForDrainsThenSignalsClosed) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.close();
+  EXPECT_EQ(q.try_pop_for(from_us(1000.0)).value(), 1);
+  const TimePoint t0 = Clock::now();
+  EXPECT_FALSE(q.try_pop_for(from_us(1e6)).has_value());
+  // Closed-and-drained returns immediately instead of burning the window.
+  EXPECT_LT(to_seconds(Clock::now() - t0), 0.5);
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
   BoundedQueue<int> q(8);
   constexpr int kPerProducer = 500;
