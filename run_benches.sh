@@ -14,6 +14,26 @@
 #            (coalesced vs per-request closed loop, offered-load sweep,
 #            serving under SSD faults) plus the serve test suites
 #            (see docs/serving.md).
+#        ./run_benches.sh --coalesce [output-file]
+#            coalescing A/B mode: runs the coalesce=on/off extraction sweep
+#            (SSD read requests, rows per read, extract p50/p95) plus the
+#            coalescing differential/fault test suites (byte-identical
+#            features, per-segment failure granularity, zero leaks).
+if [ "$1" = "--coalesce" ]; then
+  shift
+  OUT="${1:-coalesce_ab_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ coalescing A/B (bench/coalesce_sweep + Coalesce* suites) ############"
+    timeout 580 build/bench/coalesce_sweep 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tests/gnndrive_tests \
+      --gtest_filter='Coalesce*:FeatureBufferBatchedApis.*' 2>&1
+    echo "[exit=$?]"
+    echo COALESCE_AB_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--serve" ]; then
   shift
   OUT="${1:-serve_smoke_output.txt}"

@@ -93,6 +93,13 @@ void IoRing::submit_one(const Sqe& sqe) {
     complete(ring_id, -EINVAL);
     return;
   }
+  if (sqe.len == 0 || (config_.max_transfer_bytes != 0 &&
+                       sqe.len > config_.max_transfer_bytes)) {
+    // Degenerate or oversized request (a coalescing-planner bug would show
+    // up here): fail it before it can overrun the caller's buffer.
+    complete(ring_id, -EINVAL);
+    return;
+  }
   if (!config_.direct && sqe.op == SsdDevice::Op::kRead &&
       cache_->try_read_resident(sqe.offset, sqe.len, sqe.buf)) {
     // Buffered read fully served by the page cache: completes immediately.

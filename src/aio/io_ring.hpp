@@ -49,6 +49,12 @@ struct Cqe {
 struct IoRingConfig {
   unsigned queue_depth = 64;  ///< Max staged-but-unsubmitted SQEs.
   bool direct = true;         ///< O_DIRECT semantics.
+  /// Upper bound on one request's length; longer (or zero-length) requests
+  /// complete with -EINVAL, like a block layer's max_sectors_kb limit.
+  /// 0 disables the cap (zero-length requests still fail). Callers that
+  /// coalesce reads set this to their staging-row size so a planner bug
+  /// can never scribble past a staging slot.
+  std::uint32_t max_transfer_bytes = 0;
 };
 
 class IoRing : NonCopyable {

@@ -26,6 +26,7 @@ FeatureBuffer::FeatureBuffer(const FeatureBufferConfig& config,
     m_slot_waits_ = &reg.counter("fb.slot_waits");
     m_failed_ = &reg.counter("fb.failed_loads");
     m_evictions_ = &reg.counter("fb.evictions");
+    m_batch_locks_ = &reg.counter("fb.batch_lock_acquisitions");
     m_standby_ = &reg.gauge("fb.standby");
     m_standby_->set(static_cast<std::int64_t>(standby_.size()));
   }
@@ -39,6 +40,20 @@ void FeatureBuffer::publish_standby_locked() {
 
 FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
   std::lock_guard lock(mu_);
+  return check_and_ref_locked(node);
+}
+
+void FeatureBuffer::check_and_ref_batch(const NodeId* nodes, std::size_t n,
+                                        CheckResult* out) {
+  std::lock_guard lock(mu_);
+  ++stats_.batch_lock_acquisitions;
+  if (m_batch_locks_ != nullptr) m_batch_locks_->add();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = check_and_ref_locked(nodes[i]);
+  }
+}
+
+FeatureBuffer::CheckResult FeatureBuffer::check_and_ref_locked(NodeId node) {
   GD_DCHECK_MSG(node < map_.size(), "check_and_ref on out-of-range node");
   Entry& e = map_[node];
   CheckResult result;
@@ -71,6 +86,21 @@ FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
 
 SlotId FeatureBuffer::allocate_slot(NodeId node) {
   std::unique_lock lock(mu_);
+  return allocate_slot_locked(lock, node);
+}
+
+void FeatureBuffer::allocate_slots(const NodeId* nodes, std::size_t n,
+                                   SlotId* out) {
+  std::unique_lock lock(mu_);
+  ++stats_.batch_lock_acquisitions;
+  if (m_batch_locks_ != nullptr) m_batch_locks_->add();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = allocate_slot_locked(lock, nodes[i]);
+  }
+}
+
+SlotId FeatureBuffer::allocate_slot_locked(std::unique_lock<std::mutex>& lock,
+                                           NodeId node) {
   Entry& e = map_[node];
   GD_CHECK_MSG(!e.valid && e.slot == kNoSlot && e.ref_count > 0,
                "allocate_slot on node not in kMustLoad state");
@@ -177,6 +207,8 @@ void FeatureBuffer::release(const std::vector<NodeId>& nodes) {
   bool freed = false;
   {
     std::lock_guard lock(mu_);
+    ++stats_.batch_lock_acquisitions;
+    if (m_batch_locks_ != nullptr) m_batch_locks_->add();
     for (NodeId node : nodes) freed |= retire_locked(node);
     if (freed) publish_standby_locked();
   }

@@ -48,6 +48,11 @@ struct FeatureBufferStats {
   std::uint64_t loads = 0;         ///< nodes that required an SSD load
   std::uint64_t slot_waits = 0;    ///< times allocate_slot had to block
   std::uint64_t failed_loads = 0;  ///< nodes marked failed by an extractor
+  /// Mutex acquisitions taken by the batched entry points
+  /// (check_and_ref_batch / allocate_slots / release): together with
+  /// `lookups()` this exposes the per-node-lock traffic the batched APIs
+  /// eliminated.
+  std::uint64_t batch_lock_acquisitions = 0;
 
   /// Total check_and_ref triages observed.
   std::uint64_t lookups() const { return reuse_hits + wait_hits + loads; }
@@ -82,10 +87,25 @@ class FeatureBuffer : NonCopyable {
   /// reference count (the caller now holds a reference regardless of status).
   CheckResult check_and_ref(NodeId node);
 
+  /// Pass 1 for a whole batch under a single mutex acquisition. Triage
+  /// results are written to `out[0..n)` and are identical to n sequential
+  /// check_and_ref calls in the same order (duplicates within the batch
+  /// triage like repeated calls would: first occurrence decides, later
+  /// duplicates see kInFlight/kReady).
+  void check_and_ref_batch(const NodeId* nodes, std::size_t n,
+                           CheckResult* out);
+
   /// Pass 2: assigns the LRU standby slot to `node` (which must be in the
   /// kMustLoad state), lazily invalidating the slot's previous occupant.
   /// Blocks while the standby list is empty.
   SlotId allocate_slot(NodeId node);
+
+  /// Pass 2 for a group of kMustLoad nodes under (at minimum) a single
+  /// mutex acquisition; writes each node's slot to `out[0..n)`. Blocking
+  /// semantics match n sequential allocate_slot calls — the wait happens
+  /// per node as the standby list drains, so the deadlock-freedom argument
+  /// (num_slots >= Ne x Mb) is unchanged.
+  void allocate_slots(const NodeId* nodes, std::size_t n, SlotId* out);
 
   /// Marks the node's data ready (after load + transfer) and wakes waiters.
   void mark_valid(NodeId node);
@@ -142,6 +162,10 @@ class FeatureBuffer : NonCopyable {
   /// Drops one reference; returns true when a slot joined the standby list.
   /// Called with mu_ held.
   bool retire_locked(NodeId node);
+  /// check_and_ref body; called with mu_ held.
+  CheckResult check_and_ref_locked(NodeId node);
+  /// allocate_slot body; may release `lock` to wait for a standby slot.
+  SlotId allocate_slot_locked(std::unique_lock<std::mutex>& lock, NodeId node);
 
   const std::uint64_t num_slots_;
   const std::uint32_t row_floats_;
@@ -164,6 +188,7 @@ class FeatureBuffer : NonCopyable {
   Counter* m_slot_waits_ = nullptr;   ///< fb.slot_waits
   Counter* m_failed_ = nullptr;       ///< fb.failed_loads
   Counter* m_evictions_ = nullptr;    ///< fb.evictions (slot re-assigned)
+  Counter* m_batch_locks_ = nullptr;  ///< fb.batch_lock_acquisitions
   Gauge* m_standby_ = nullptr;        ///< fb.standby (list length)
 };
 

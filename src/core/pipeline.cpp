@@ -47,10 +47,13 @@ std::uint32_t epoch_of(std::uint64_t batch_id) {
 
 struct GnnDrive::ExtractorState {
   std::unique_ptr<IoRing> ring;
-  std::uint8_t* staging_base = nullptr;  ///< ring_depth covering rows
+  std::uint8_t* staging_base = nullptr;  ///< staging_rows_ segment-wide rows
   std::uint8_t* gds_base = nullptr;      ///< ring_depth covering blocks (GDS)
   Rng backoff_rng{0};                    ///< jitter source, seeded per worker
   EpochResult counters;                  ///< accumulated fault accounting
+  ExtractMetricHooks hooks;              ///< io.coalesce.* (null w/o registry)
+  std::uint64_t io_segments = 0;         ///< coalesced reads issued
+  std::uint64_t io_rows = 0;             ///< rows delivered by those reads
 
   // Extract sub-phase attribution for the current batch, accumulated only
   // while tracing is enabled (the real loop interleaves submit / SSD wait /
@@ -88,6 +91,11 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
           ? row_bytes
           : static_cast<std::uint32_t>(round_up(row_bytes, kSectorSize)) +
                 kSectorSize;
+  // Coalesced extraction: staging rows widen to hold a whole merged segment
+  // and the per-extractor row pool shrinks accordingly (core/extract.hpp).
+  staging_row_bytes_ = staging_row_bytes_for(config_.coalesce,
+                                             covering_row_bytes_);
+  staging_rows_ = staging_rows_for(config_.coalesce, config_.ring_depth);
 
   // Model (input/output dims come from the dataset).
   ModelConfig mc = config_.common.model;
@@ -124,8 +132,8 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
           : ~0ull;
   while (num_extractors_ > 1 &&
          ((!config_.gds_mode &&
-           static_cast<std::uint64_t>(num_extractors_) * config_.ring_depth *
-                   covering_row_bytes_ >
+           static_cast<std::uint64_t>(num_extractors_) * staging_rows_ *
+                   staging_row_bytes_ >
                staging_budget) ||
           num_extractors_ * max_batch_nodes_ * row_bytes >
               std::min(device_for_slots, host_for_slots))) {
@@ -142,7 +150,7 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
   const std::uint64_t staging_bytes =
       config_.gds_mode ? 0
                        : static_cast<std::uint64_t>(num_extractors_) *
-                             config_.ring_depth * covering_row_bytes_;
+                             staging_rows_ * staging_row_bytes_;
   staging_pin_ = PinnedBytes(mem, staging_bytes, "gnndrive-staging");
   staging_.resize(staging_bytes);
 
@@ -230,23 +238,11 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   std::vector<std::uint32_t> wait_idx;
   std::vector<std::uint32_t> load_idx;
 
-  // Pass 1 (Algorithm 1 lines 5-19): reuse triage + reference counts.
+  // Pass 1 (Algorithm 1 lines 5-19): reuse triage + reference counts, one
+  // buffer-lock acquisition for the whole batch.
   {
     BusyScope busy(ctx_.telemetry);
-    for (std::uint32_t i = 0; i < batch.nodes.size(); ++i) {
-      const auto r = fb.check_and_ref(batch.nodes[i]);
-      switch (r.status) {
-        case FeatureBuffer::CheckStatus::kReady:
-          batch.alias[i] = r.slot;
-          break;
-        case FeatureBuffer::CheckStatus::kInFlight:
-          wait_idx.push_back(i);
-          break;
-        case FeatureBuffer::CheckStatus::kMustLoad:
-          load_idx.push_back(i);
-          break;
-      }
-    }
+    triage_batch(fb, batch, wait_idx, load_idx);
   }
 
   if (config_.gds_mode) {
@@ -359,226 +355,53 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
     return !failed;
   }
 
-  // Pass 2 (lines 20-31): allocate slots and submit asynchronous loads.
-  // Reads are direct I/O: sector-aligned covering ranges; rows narrower than
-  // a sector ride along with their neighbours (joint extraction). At most
-  // ring_depth requests are in flight (the io_uring I/O depth, Appendix A),
-  // and each occupies one staging row until its transfer retires — the
-  // staging buffer recycles.
-  //
-  // Fault tolerance: transient read failures (-EIO, watchdog -ETIMEDOUT) are
-  // retried with jittered exponential backoff, keeping their staging row so
-  // the resubmission cannot block on the row pool. The first unrecoverable
-  // failure fails the whole batch: every unresolved load is marked failed in
-  // the feature buffer (waking cross-batch waiters), in-flight reads are
-  // still reaped (a cancelled request never touches its staging row), and
-  // the caller releases all references so no slot leaks.
-  struct TransferTracker {
-    std::mutex m;
-    std::condition_variable cv;
-    std::vector<unsigned> free_rows;
-    std::size_t transfers_done = 0;
-  } tracker;
-  for (unsigned r = 0; r < config_.ring_depth; ++r) {
-    tracker.free_rows.push_back(r);
-  }
-  const std::size_t n_load = load_idx.size();
-  std::vector<unsigned> row_of(n_load, 0);
-  std::vector<std::uint32_t> attempts(n_load, 0);
-  struct RetryEntry {
-    TimePoint due;
-    std::size_t j;
-  };
-  std::vector<RetryEntry> retries;  // loads sitting out a backoff delay
+  // Pass 2 (lines 20-31): the shared coalescing core (core/extract.cpp)
+  // plans sorted-run merged reads, allocates slots per segment under one
+  // buffer-lock take, submits the asynchronous loads and scatters completed
+  // rows, preserving the per-segment retry/watchdog/fail protocol. Training
+  // installs jittered exponential backoff as its retry policy.
+  ExtractEnv env;
+  env.fb = &fb;
+  env.layout = &lay;
+  env.row_bytes = row_bytes;
+  env.ring = state.ring.get();
+  env.staging_base = state.staging_base;
+  env.staging_row_bytes = staging_row_bytes_;
+  env.staging_rows = staging_rows_;
+  env.gpu = gpu_.get();
+  env.telemetry = ctx_.telemetry;
 
-  std::size_t submitted = 0;
-  std::size_t resolved = 0;  // loads that reached a terminal state
-  std::size_t inflight = 0;
-  std::size_t transfers_started = 0;
-  bool failed = false;
-
-  const auto submit_read = [&](std::size_t j) {
-    const TimePoint t = tracing ? Clock::now() : TimePoint{};
-    const NodeId node = batch.nodes[load_idx[j]];
-    const std::uint64_t off = lay.feature_offset_of(node);
-    const std::uint64_t base = round_down(off, kSectorSize);
-    const auto len = static_cast<std::uint32_t>(
-        round_up(off + row_bytes, kSectorSize) - base);
-    GD_CHECK(len <= covering_row_bytes_);
-    std::uint8_t* dst = state.staging_base + row_of[j] * covering_row_bytes_;
-    state.ring->prep_read(base, len, dst, j);
-    state.ring->submit();
-    ++inflight;
-    if (tracing) state.submit_ns += elapsed_ns(t, Clock::now());
+  ExtractPolicy policy;
+  policy.coalesce = config_.coalesce;
+  policy.max_retries = ft.max_retries;
+  policy.request_timeout = req_timeout;
+  policy.poll = poll;
+  policy.backoff = [&state, &ft](std::uint32_t attempt) {
+    return state.backoff(ft, attempt);
   };
-  const auto free_row = [&](unsigned row) {
-    {
-      std::lock_guard lk(tracker.m);
-      tracker.free_rows.push_back(row);
-    }
-    tracker.cv.notify_all();
-  };
-  // First unrecoverable failure: resolve everything that is not in flight.
-  // Unsubmitted loads hold a reference but no slot; backoff-pending retries
-  // also hand their staging rows back.
-  const auto fail_pending = [&] {
-    for (std::size_t j = submitted; j < n_load; ++j) {
-      fb.mark_failed(batch.nodes[load_idx[j]]);
-      ++resolved;
-    }
-    submitted = n_load;
-    for (const RetryEntry& r : retries) {
-      fb.mark_failed(batch.nodes[load_idx[r.j]]);
-      free_row(row_of[r.j]);
-      ++resolved;
-    }
-    retries.clear();
-  };
+  policy.batch_id = batch.batch_id;
+  policy.epoch = epoch_of(batch.batch_id);
 
-  while (resolved < n_load) {
-    // Resubmit retries whose backoff has elapsed (they keep their rows).
-    if (!retries.empty()) {
-      const TimePoint now = Clock::now();
-      for (std::size_t k = 0; k < retries.size();) {
-        if (retries[k].due <= now) {
-          submit_read(retries[k].j);
-          retries[k] = retries.back();
-          retries.pop_back();
-        } else {
-          ++k;
-        }
-      }
-    }
-    // Top up submissions while staging rows are free.
-    while (!failed && submitted < n_load) {
-      unsigned row;
-      {
-        std::lock_guard lk(tracker.m);
-        if (tracker.free_rows.empty()) break;
-        row = tracker.free_rows.back();
-        tracker.free_rows.pop_back();
-      }
-      const std::size_t j = submitted++;
-      row_of[j] = row;
-      const std::uint32_t i = load_idx[j];
-      const NodeId node = batch.nodes[i];
-      const SlotId slot = fb.allocate_slot(node);  // may block on standby
-      batch.alias[i] = slot;
-      submit_read(j);
-    }
-    if (inflight == 0) {
-      if (resolved == n_load) break;
-      if (!retries.empty()) {
-        // Only backed-off loads remain; sleep until the earliest is due.
-        TimePoint earliest = retries[0].due;
-        for (const RetryEntry& r : retries) earliest = std::min(earliest, r.due);
-        std::this_thread::sleep_until(earliest);
-        continue;
-      }
-      // Nothing in flight to reap; wait for a transfer to free a row.
-      ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
-      const TimePoint tw = tracing ? Clock::now() : TimePoint{};
-      std::unique_lock lk(tracker.m);
-      tracker.cv.wait(lk, [&] { return !tracker.free_rows.empty(); });
-      if (tracing) state.copy_wait_ns += elapsed_ns(tw, Clock::now());
-      continue;
-    }
-    // Reap one load; on success its transfer starts immediately (lines
-    // 32-35) and overlaps the loading of the next nodes. The watchdog turns
-    // overdue requests into -ETIMEDOUT completions so a stuck device can
-    // never wedge this loop.
-    const TimePoint tw = tracing ? Clock::now() : TimePoint{};
-    const auto cqe_opt = state.ring->wait_cqe_for(poll);
-    if (tracing) state.ssd_wait_ns += elapsed_ns(tw, Clock::now());
-    if (!cqe_opt) {
-      state.ring->cancel_expired(req_timeout);
-      continue;
-    }
-    --inflight;
-    const std::size_t j = cqe_opt->user_data;
-    const std::uint32_t i = load_idx[j];
-    const NodeId node = batch.nodes[i];
-    if (cqe_opt->res < 0) {
-      ++state.counters.io_errors;
-      if (cqe_opt->res == -ETIMEDOUT) ++state.counters.io_timeouts;
-      if (!failed && transient_error(cqe_opt->res) &&
-          attempts[j] < ft.max_retries) {
-        ++attempts[j];
-        ++state.counters.io_retries;
-        if (ctx_.telemetry) ctx_.telemetry->count(FaultCounter::kIoRetries);
-        retries.push_back({Clock::now() + state.backoff(ft, attempts[j]), j});
-        continue;
-      }
-      if (!failed) {
-        log_structured(LogLevel::kWarn, "extract_failed",
-                       {kv("batch", batch.batch_id),
-                        kv("epoch", epoch_of(batch.batch_id)),
-                        kv("node", node), kv("res", cqe_opt->res),
-                        kv("attempts", attempts[j])});
-      }
-      fb.mark_failed(node);
-      free_row(row_of[j]);
-      ++resolved;
-      if (!failed) {
-        failed = true;
-        fail_pending();
-      }
-      continue;
-    }
-    if (attempts[j] > 0) ++state.counters.io_recovered;
-    ++resolved;
-    const SlotId slot = batch.alias[i];
-    const unsigned row = row_of[j];
-    const std::uint64_t off = lay.feature_offset_of(node);
-    const std::uint64_t base = round_down(off, kSectorSize);
-    const std::uint8_t* src =
-        state.staging_base + row * covering_row_bytes_ + (off - base);
-    ++transfers_started;
-    if (gpu_ != nullptr) {
-      gpu_->memcpy_h2d_async(
-          fb.slot_data(slot), src, row_bytes, [&fb, node, row, &tracker] {
-            fb.mark_valid(node);
-            // Notify under the lock: the waiter owns the tracker's stack
-            // frame and may destroy it the moment the predicate holds.
-            std::lock_guard lk(tracker.m);
-            ++tracker.transfers_done;
-            tracker.free_rows.push_back(row);
-            tracker.cv.notify_all();
-          });
-    } else {
-      // CPU training: the feature buffer lives in host memory; no staging
-      // transfer is needed (Sect. 4.4, CPU-based Training).
-      std::memcpy(fb.slot_data(slot), src, row_bytes);
-      fb.mark_valid(node);
-      std::lock_guard lk(tracker.m);
-      ++tracker.transfers_done;
-      tracker.free_rows.push_back(row);
-    }
-  }
-
-  // Always drain transfers — their callbacks touch this stack frame.
-  if (gpu_ != nullptr && transfers_started > 0) {
-    ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
-    const TimePoint tw = tracing ? Clock::now() : TimePoint{};
-    std::unique_lock lk(tracker.m);
-    tracker.cv.wait(lk,
-                    [&] { return tracker.transfers_done == transfers_started; });
-    if (tracing) state.copy_wait_ns += elapsed_ns(tw, Clock::now());
-  }
+  ExtractCounters ec;
+  ExtractTrace tr;
+  tr.tracing = tracing;
+  bool ok = extract_load_set(batch, load_idx, env, policy, state.hooks, ec,
+                             &tr);
+  state.counters.io_errors += ec.io_errors;
+  state.counters.io_retries += ec.io_retries;
+  state.counters.io_recovered += ec.io_recovered;
+  state.counters.io_timeouts += ec.io_timeouts;
+  state.io_segments += ec.segments;
+  state.io_rows += ec.rows_loaded;
+  state.submit_ns = tr.submit_ns;
+  state.ssd_wait_ns = tr.ssd_wait_ns;
+  state.copy_wait_ns = tr.copy_wait_ns;
 
   // Wait-list resolution (line 38): nodes other extractors were loading. A
   // loader always resolves its nodes (valid or failed), so the timeout only
   // fires if that extractor died; the waiter then fails its batch too.
-  for (std::uint32_t i : wait_idx) {
-    if (failed) break;  // refs released by the caller
-    const auto slot = fb.wait_ready(batch.nodes[i], wait_list_timeout);
-    if (!slot.has_value() || *slot == kNoSlot) {
-      failed = true;
-      break;
-    }
-    batch.alias[i] = *slot;
-  }
-  return !failed;
+  if (ok) ok = resolve_wait_list(fb, batch, wait_idx, wait_list_timeout);
+  return ok;
 }
 
 void GnnDrive::train_batch(SampledBatch& batch, EpochStats& stats) {
@@ -724,6 +547,8 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   std::atomic<std::uint64_t> io_retries{0};
   std::atomic<std::uint64_t> io_recovered{0};
   std::atomic<std::uint64_t> io_timeouts{0};
+  std::atomic<std::uint64_t> io_segments{0};
+  std::atomic<std::uint64_t> io_rows{0};
   std::mutex err_mu;
   std::exception_ptr error;
   const auto capture_error = [&] {
@@ -785,7 +610,11 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
           io_retries.fetch_add(state.counters.io_retries);
           io_recovered.fetch_add(state.counters.io_recovered);
           io_timeouts.fetch_add(state.counters.io_timeouts);
+          io_segments.fetch_add(state.io_segments);
+          io_rows.fetch_add(state.io_rows);
           state.counters = EpochResult{};
+          state.io_segments = 0;
+          state.io_rows = 0;
         };
         try {
           IoRingConfig rc;
@@ -793,9 +622,20 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
           // Direct I/O bypasses the OS page cache (Sect. 4.2); buffered
           // mode exists as an ablation (see GnnDriveConfig::direct_io).
           rc.direct = config_.direct_io;
+          if (!config_.gds_mode) {
+            // A request longer than a staging slot would overrun it; the
+            // ring rejects such a planner bug with -EINVAL.
+            rc.max_transfer_bytes = staging_row_bytes_;
+          }
           state.ring = std::make_unique<IoRing>(
               *ctx_.ssd, rc, config_.direct_io ? nullptr : ctx_.page_cache,
               ctx_.telemetry);
+          if (reg != nullptr) {
+            state.hooks.segments = &reg->counter("io.coalesce.segments");
+            state.hooks.rows = &reg->counter("io.coalesce.rows");
+            state.hooks.rows_per_read =
+                &reg->histogram("io.coalesce.rows_per_read");
+          }
           if (config_.gds_mode) {
             state.gds_base =
                 gds_bounce_.data() + static_cast<std::uint64_t>(e) *
@@ -804,8 +644,7 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
           } else {
             state.staging_base =
                 staging_.data() + static_cast<std::uint64_t>(e) *
-                                      config_.ring_depth *
-                                      covering_row_bytes_;
+                                      staging_rows_ * staging_row_bytes_;
           }
           for (;;) {
             const TimePoint qb = tracing ? Clock::now() : TimePoint{};
@@ -997,6 +836,8 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   stats.obs.fb_reuse_hits = fb_after.reuse_hits - fb_before.reuse_hits;
   stats.obs.fb_wait_hits = fb_after.wait_hits - fb_before.wait_hits;
   stats.obs.fb_loads = fb_after.loads - fb_before.loads;
+  stats.obs.io_segments = io_segments.load();
+  stats.obs.io_rows = io_rows.load();
   // Mean loss/accuracy over the batches that actually trained (identical to
   // dividing by n_batches on a clean epoch).
   const std::uint64_t denom =

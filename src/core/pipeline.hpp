@@ -33,6 +33,7 @@
 #include <memory>
 
 #include "aio/io_ring.hpp"
+#include "core/extract.hpp"
 #include "core/feature_buffer.hpp"
 #include "core/system.hpp"
 #include "gpu/gpu.hpp"
@@ -66,6 +67,9 @@ struct FaultToleranceConfig {
 struct GnnDriveConfig {
   CommonTrainConfig common;
   FaultToleranceConfig fault;
+  /// Sorted-run read merging for the extract stage (see core/extract.hpp);
+  /// `coalesce.enabled = false` is the per-node-read A/B baseline.
+  CoalesceConfig coalesce;
   std::uint32_t num_samplers = 4;
   std::uint32_t num_extractors = 4;  ///< upper bound; may auto-shrink
   std::uint32_t extract_queue_cap = 6;
@@ -142,7 +146,9 @@ class GnnDrive final : public TrainSystem {
 
   std::uint32_t num_extractors_ = 0;     ///< after auto-shrink
   std::uint64_t max_batch_nodes_ = 0;    ///< Mb
-  std::uint32_t covering_row_bytes_ = 0; ///< sector-aligned staging row
+  std::uint32_t covering_row_bytes_ = 0; ///< one row's sector-aligned cover
+  std::uint32_t staging_row_bytes_ = 0;  ///< per staging slot (>= a segment)
+  std::uint32_t staging_rows_ = 0;       ///< staging slots per extractor
   std::uint64_t feature_slots_ = 0;
 
   PinnedBytes metadata_pin_;

@@ -59,6 +59,14 @@ struct EpochObs {
   std::uint64_t fb_reuse_hits = 0;  ///< feature-buffer reuse hits this epoch
   std::uint64_t fb_wait_hits = 0;   ///< nodes found in-flight this epoch
   std::uint64_t fb_loads = 0;       ///< nodes loaded from SSD this epoch
+  std::uint64_t io_segments = 0;    ///< coalesced feature reads issued
+  std::uint64_t io_rows = 0;        ///< feature rows delivered by those reads
+  /// Mean feature rows per SSD read (1.0 with coalescing off).
+  double rows_per_read() const {
+    return io_segments > 0 ? static_cast<double>(io_rows) /
+                                 static_cast<double>(io_segments)
+                           : 0.0;
+  }
   /// (reuse + wait) / (reuse + wait + loads); 0 when no lookups happened.
   double fb_hit_rate() const {
     const double hits =
@@ -97,6 +105,11 @@ struct EpochObs {
                   static_cast<unsigned long long>(fb_reuse_hits),
                   static_cast<unsigned long long>(fb_wait_hits),
                   static_cast<unsigned long long>(fb_loads));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  coalesce reads=%llu rows=%llu rows/read=%.2f\n",
+                  static_cast<unsigned long long>(io_segments),
+                  static_cast<unsigned long long>(io_rows), rows_per_read());
     out += line;
     return out;
   }

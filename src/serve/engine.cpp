@@ -17,10 +17,6 @@ namespace {
 /// trace rows and log lines never collide.
 constexpr std::uint64_t kServeBatchBase = 1ull << 48;
 
-bool transient_error(std::int32_t res) {
-  return res == -EIO || res == -ETIMEDOUT;
-}
-
 ServeConfig resolve_serve_config(ServeConfig config, GnnDrive& host) {
   if (config.sampler.fanouts.size() !=
       host.model().config().num_layers) {
@@ -82,8 +78,9 @@ std::string ServeReport::format() const {
 struct ServeEngine::WorkerState {
   std::unique_ptr<MmapTopology> topo;
   std::unique_ptr<IoRing> ring;
-  std::uint8_t* staging_base = nullptr;  ///< ring_depth covering rows
+  std::uint8_t* staging_base = nullptr;  ///< staging_rows_ segment-wide rows
   GnnModel* model = nullptr;             ///< this worker's forward replica
+  ExtractMetricHooks hooks;              ///< io.coalesce.* (null w/o registry)
 };
 
 ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
@@ -115,9 +112,14 @@ ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
           ? row_bytes
           : static_cast<std::uint32_t>(round_up(row_bytes, kSectorSize)) +
                 kSectorSize;
+  // Coalesced extraction sizing, mirroring the training pipeline: staging
+  // rows widen to hold a merged segment, the per-worker pool shrinks.
+  staging_row_bytes_ =
+      staging_row_bytes_for(config_.coalesce, covering_row_bytes_);
+  staging_rows_ = staging_rows_for(config_.coalesce, config_.ring_depth);
   const std::uint64_t staging_bytes =
-      static_cast<std::uint64_t>(config_.workers) * config_.ring_depth *
-      covering_row_bytes_;
+      static_cast<std::uint64_t>(config_.workers) * staging_rows_ *
+      staging_row_bytes_;
   if (ctx_.host_mem != nullptr) {
     staging_pin_ = PinnedBytes(*ctx_.host_mem, staging_bytes, "serve-staging");
   }
@@ -272,11 +274,17 @@ void ServeEngine::worker_loop(std::uint32_t worker_id) {
   IoRingConfig rc;
   rc.queue_depth = config_.ring_depth;
   rc.direct = true;  // serving always bypasses the page cache, like training
+  rc.max_transfer_bytes = staging_row_bytes_;
   ws.ring = std::make_unique<IoRing>(*ctx_.ssd, rc, nullptr, ctx_.telemetry);
   ws.staging_base = staging_.data() + static_cast<std::uint64_t>(worker_id) *
-                                          config_.ring_depth *
-                                          covering_row_bytes_;
+                                          staging_rows_ * staging_row_bytes_;
   ws.model = replicas_[worker_id].get();
+  if (ctx_.telemetry != nullptr) {
+    MetricsRegistry& reg = *ctx_.telemetry->metrics();
+    ws.hooks.segments = &reg.counter("io.coalesce.segments");
+    ws.hooks.rows = &reg.counter("io.coalesce.rows");
+    ws.hooks.rows_per_read = &reg.histogram("io.coalesce.rows_per_read");
+  }
   for (;;) {
     auto batch = coalescer_.collect();
     if (batch.empty()) return;  // queue closed & drained
@@ -404,11 +412,11 @@ void ServeEngine::process_batch(std::vector<PendingRequest>&& batch,
 }
 
 bool ServeEngine::extract_batch(SampledBatch& batch, WorkerState& ws) {
-  // Structure mirrors GnnDrive::extract_batch's staging path (Algorithm 1
-  // plus the fault-tolerance layer), with serving-oriented simplifications:
-  // retries use a flat short delay instead of exponential backoff (a serve
-  // batch would rather fail fast than sit out a long backoff), and there is
-  // no GDS/buffered-I/O variant.
+  // Runs the shared coalescing core (core/extract.cpp) — the same planner,
+  // submit/reap loop and fault protocol as GnnDrive::extract_batch — under
+  // a serving-oriented retry policy: flat short delay instead of
+  // exponential backoff (a serve batch would rather fail fast than sit out
+  // a long backoff), and there is no GDS/buffered-I/O variant.
   FeatureBuffer& fb = *sub_.feature_buffer;
   const OnDiskLayout& lay = ctx_.dataset->layout();
   const auto row_bytes = static_cast<std::uint32_t>(lay.feature_row_bytes);
@@ -422,192 +430,50 @@ bool ServeEngine::extract_batch(SampledBatch& batch, WorkerState& ws) {
   std::vector<std::uint32_t> load_idx;
   {
     BusyScope busy(ctx_.telemetry);
-    for (std::uint32_t i = 0; i < batch.nodes.size(); ++i) {
-      const auto r = fb.check_and_ref(batch.nodes[i]);
-      switch (r.status) {
-        case FeatureBuffer::CheckStatus::kReady:
-          batch.alias[i] = r.slot;
-          break;
-        case FeatureBuffer::CheckStatus::kInFlight:
-          wait_idx.push_back(i);
-          break;
-        case FeatureBuffer::CheckStatus::kMustLoad:
-          load_idx.push_back(i);
-          break;
-      }
-    }
+    triage_batch(fb, batch, wait_idx, load_idx);
   }
 
-  struct TransferTracker {
-    std::mutex m;
-    std::condition_variable cv;
-    std::vector<unsigned> free_rows;
-    std::size_t transfers_done = 0;
-  } tracker;
-  for (unsigned r = 0; r < config_.ring_depth; ++r) {
-    tracker.free_rows.push_back(r);
+  // The pin budget guarantees the serve share of the standby list can cover
+  // this batch's slot allocations, and training's reserve covers its own
+  // extractors — neither side can deadlock the other.
+  ExtractEnv env;
+  env.fb = &fb;
+  env.layout = &lay;
+  env.row_bytes = row_bytes;
+  env.ring = ws.ring.get();
+  env.staging_base = ws.staging_base;
+  env.staging_row_bytes = staging_row_bytes_;
+  env.staging_rows = staging_rows_;
+  env.gpu = sub_.gpu;
+  env.telemetry = ctx_.telemetry;
+
+  ExtractPolicy policy;
+  policy.coalesce = config_.coalesce;
+  policy.max_retries = config_.max_retries;
+  policy.request_timeout = req_timeout;
+  policy.poll = poll;
+  policy.backoff = [retry_delay](std::uint32_t) { return retry_delay; };
+  policy.batch_id = batch.batch_id;
+  policy.log_epoch = false;  // serve batches carry no epoch
+  policy.fail_event = "serve_extract_failed";
+
+  ExtractCounters ec;
+  bool ok = extract_load_set(batch, load_idx, env, policy, ws.hooks, ec,
+                             nullptr);
+  if (ec.io_errors > 0) {
+    io_errors_.fetch_add(ec.io_errors, std::memory_order_relaxed);
+    if (m_io_errors_ != nullptr) m_io_errors_->add(ec.io_errors);
   }
-  const std::size_t n_load = load_idx.size();
-  std::vector<unsigned> row_of(n_load, 0);
-  std::vector<std::uint32_t> attempts(n_load, 0);
-
-  std::size_t submitted = 0;
-  std::size_t resolved = 0;
-  std::size_t inflight = 0;
-  std::size_t transfers_started = 0;
-  bool failed = false;
-
-  const auto submit_read = [&](std::size_t j) {
-    const NodeId node = batch.nodes[load_idx[j]];
-    const std::uint64_t off = lay.feature_offset_of(node);
-    const std::uint64_t base = round_down(off, kSectorSize);
-    const auto len = static_cast<std::uint32_t>(
-        round_up(off + row_bytes, kSectorSize) - base);
-    GD_CHECK(len <= covering_row_bytes_);
-    std::uint8_t* dst = ws.staging_base + row_of[j] * covering_row_bytes_;
-    ws.ring->prep_read(base, len, dst, j);
-    ws.ring->submit();
-    ++inflight;
-  };
-  const auto free_row = [&](unsigned row) {
-    {
-      std::lock_guard lk(tracker.m);
-      tracker.free_rows.push_back(row);
-    }
-    tracker.cv.notify_all();
-  };
-
-  while (resolved < n_load) {
-    while (!failed && submitted < n_load) {
-      unsigned row;
-      {
-        std::lock_guard lk(tracker.m);
-        if (tracker.free_rows.empty()) break;
-        row = tracker.free_rows.back();
-        tracker.free_rows.pop_back();
-      }
-      const std::size_t j = submitted++;
-      row_of[j] = row;
-      const std::uint32_t i = load_idx[j];
-      const NodeId node = batch.nodes[i];
-      // Cannot deadlock: the pin budget guarantees the serve share of the
-      // standby list can cover this batch, and training's reserve covers
-      // its own extractors.
-      batch.alias[i] = fb.allocate_slot(node);
-      submit_read(j);
-    }
-    if (failed && submitted < n_load) {
-      // Unwind loads never submitted: their refs are owed but no slot was
-      // allocated; waiters see the failure and fail their own batch.
-      for (std::size_t j = submitted; j < n_load; ++j) {
-        fb.mark_failed(batch.nodes[load_idx[j]]);
-        ++resolved;
-      }
-      submitted = n_load;
-      continue;
-    }
-    if (inflight == 0) {
-      if (resolved == n_load) break;
-      // Nothing to reap; wait for an in-flight transfer to free a row.
-      ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
-      std::unique_lock lk(tracker.m);
-      tracker.cv.wait(lk, [&] { return !tracker.free_rows.empty(); });
-      continue;
-    }
-    const auto cqe_opt = ws.ring->wait_cqe_for(poll);
-    if (!cqe_opt.has_value()) {
-      // Watchdog: overdue requests become -ETIMEDOUT completions, so a
-      // stuck device cannot wedge the serve worker.
-      ws.ring->cancel_expired(req_timeout);
-      continue;
-    }
-    --inflight;
-    const std::size_t j = cqe_opt->user_data;
-    const std::uint32_t i = load_idx[j];
-    const NodeId node = batch.nodes[i];
-    if (cqe_opt->res < 0) {
-      io_errors_.fetch_add(1, std::memory_order_relaxed);
-      if (m_io_errors_ != nullptr) m_io_errors_->add();
-      if (ctx_.telemetry != nullptr) {
-        ctx_.telemetry->count(FaultCounter::kIoErrors);
-        if (cqe_opt->res == -ETIMEDOUT) {
-          ctx_.telemetry->count(FaultCounter::kIoTimeouts);
-        }
-      }
-      if (!failed && transient_error(cqe_opt->res) &&
-          attempts[j] < config_.max_retries) {
-        ++attempts[j];
-        io_retries_.fetch_add(1, std::memory_order_relaxed);
-        if (m_io_retries_ != nullptr) m_io_retries_->add();
-        if (ctx_.telemetry != nullptr) {
-          ctx_.telemetry->count(FaultCounter::kIoRetries);
-        }
-        if (retry_delay > Duration::zero()) {
-          std::this_thread::sleep_for(retry_delay);
-        }
-        submit_read(j);  // keeps its staging row
-        continue;
-      }
-      if (!failed) {
-        log_structured(LogLevel::kWarn, "serve_extract_failed",
-                       {kv("batch", batch.batch_id), kv("node", node),
-                        kv("res", cqe_opt->res), kv("attempts", attempts[j])});
-      }
-      fb.mark_failed(node);
-      free_row(row_of[j]);
-      ++resolved;
-      failed = true;
-      continue;
-    }
-    ++resolved;
-    const SlotId slot = batch.alias[i];
-    const unsigned row = row_of[j];
-    const std::uint64_t off = lay.feature_offset_of(node);
-    const std::uint64_t base = round_down(off, kSectorSize);
-    const std::uint8_t* src =
-        ws.staging_base + row * covering_row_bytes_ + (off - base);
-    ++transfers_started;
-    if (sub_.gpu != nullptr) {
-      sub_.gpu->memcpy_h2d_async(
-          fb.slot_data(slot), src, row_bytes, [&fb, node, row, &tracker] {
-            fb.mark_valid(node);
-            // Notify under the lock: the waiter owns the tracker's stack
-            // frame and may destroy it the moment the predicate holds.
-            std::lock_guard lk(tracker.m);
-            ++tracker.transfers_done;
-            tracker.free_rows.push_back(row);
-            tracker.cv.notify_all();
-          });
-    } else {
-      std::memcpy(fb.slot_data(slot), src, row_bytes);
-      fb.mark_valid(node);
-      std::lock_guard lk(tracker.m);
-      ++tracker.transfers_done;
-      tracker.free_rows.push_back(row);
-    }
-  }
-
-  // Always drain transfers — their callbacks touch this stack frame.
-  if (sub_.gpu != nullptr && transfers_started > 0) {
-    ScopedTrace trace(ctx_.telemetry, TraceCat::kIoWait);
-    std::unique_lock lk(tracker.m);
-    tracker.cv.wait(lk,
-                    [&] { return tracker.transfers_done == transfers_started; });
+  if (ec.io_retries > 0) {
+    io_retries_.fetch_add(ec.io_retries, std::memory_order_relaxed);
+    if (m_io_retries_ != nullptr) m_io_retries_->add(ec.io_retries);
   }
 
   // Wait-list resolution: nodes a training extractor (or a sibling serve
   // worker) is loading. The loader always resolves them; the timeout only
   // fires if that thread died, and the serve batch fails instead of hanging.
-  for (std::uint32_t i : wait_idx) {
-    if (failed) break;  // refs released by the caller
-    const auto slot = fb.wait_ready(batch.nodes[i], wait_list_timeout);
-    if (!slot.has_value() || *slot == kNoSlot) {
-      failed = true;
-      break;
-    }
-    batch.alias[i] = *slot;
-  }
-  return !failed;
+  if (ok) ok = resolve_wait_list(fb, batch, wait_idx, wait_list_timeout);
+  return ok;
 }
 
 ServeReport ServeEngine::report() const {

@@ -121,8 +121,10 @@ class ServeEngine : NonCopyable {
   std::uint64_t pins_in_use_ = 0;
 
   std::uint32_t covering_row_bytes_ = 0;
+  std::uint32_t staging_row_bytes_ = 0;  ///< per staging slot (>= a segment)
+  std::uint32_t staging_rows_ = 0;       ///< staging slots per worker
   PinnedBytes staging_pin_;
-  std::vector<std::uint8_t> staging_;  ///< workers x ring_depth rows
+  std::vector<std::uint8_t> staging_;  ///< workers x staging_rows_ slots
 
   std::vector<std::unique_ptr<GnnModel>> replicas_;
   std::vector<std::thread> workers_;

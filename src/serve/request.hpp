@@ -11,7 +11,8 @@
 #include <cstdint>
 #include <string>
 
-#include "core/system.hpp"  // StageLatency (p50/p95/p99 summary rows)
+#include "core/extract.hpp"  // CoalesceConfig (shared with training)
+#include "core/system.hpp"   // StageLatency (p50/p95/p99 summary rows)
 #include "sampling/sampler.hpp"
 
 namespace gnndrive {
@@ -66,6 +67,10 @@ struct ServeConfig {
   double retry_delay_us = 50.0;
   double request_timeout_ms = 250.0;
   double wait_list_timeout_ms = 10000.0;
+  /// Sorted-run read merging for serve extraction, same machinery and knobs
+  /// as training (core/extract.hpp); `coalesce.enabled = false` restores
+  /// one read per to-load node.
+  CoalesceConfig coalesce;
 };
 
 /// End-of-run serving report: the epoch-style summary for the serve path.

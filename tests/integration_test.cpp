@@ -174,8 +174,9 @@ TEST_F(IntegrationFixture, SampleOnlyFasterThanFullPipelineSampling) {
 }
 
 TEST_F(IntegrationFixture, ExtractionCountsMatchDeviceTraffic) {
-  // Every feature-buffer load corresponds to exactly one direct SSD read
-  // of the covering range (plus topology faults through the page cache).
+  // Every feature-buffer load is delivered by exactly one coalesced read
+  // segment, and each segment is one direct SSD read (plus topology faults
+  // through the page cache). With coalescing, reads sit well below loads.
   auto env = make_env(64ull << 20);  // ample memory: topo fully cached
   GnnDriveConfig cfg;
   cfg.common = common();
@@ -183,11 +184,13 @@ TEST_F(IntegrationFixture, ExtractionCountsMatchDeviceTraffic) {
   system.run_epoch(100);  // warm: topology resident
   env.ssd->reset_stats();
   const auto loads_before = system.feature_buffer().stats().loads;
-  system.run_epoch(0);
+  const EpochStats stats = system.run_epoch(0);
   const auto loads = system.feature_buffer().stats().loads - loads_before;
   const auto reads = env.ssd->stats().reads;
-  EXPECT_GE(reads, loads);
-  EXPECT_LE(reads, loads + 200);  // small slack for residual topo faults
+  EXPECT_EQ(stats.obs.io_rows, loads);  // every load rode exactly one segment
+  EXPECT_LE(stats.obs.io_segments, loads);
+  EXPECT_GE(reads, stats.obs.io_segments);  // one SSD read per segment
+  EXPECT_LE(reads, stats.obs.io_segments + 200);  // residual topo faults
 }
 
 }  // namespace

@@ -133,11 +133,21 @@ TEST_F(PipelineFixture, RunsUnderTightHostMemoryWithBoundedStaging) {
   cfg.num_extractors = 4;
   cfg.ring_depth = 64;
   GnnDrive system(env.ctx, cfg);
-  // Pinned memory is metadata + Ne x depth x covering rows, far below Mb.
-  const std::uint64_t covering = dataset->layout().feature_row_bytes;
-  EXPECT_LE(env.mem->pinned(), dataset->host_metadata_bytes() +
-                                   4ull * 64 * (covering + kSectorSize) +
-                                   (64 << 10));
+  // Pinned memory is metadata + Ne x staging-row-pool, far below Mb (the
+  // pool follows the coalescing config: wide segment-sized rows, fewer of
+  // them — see staging_rows_for / staging_row_bytes_for).
+  const auto row_bytes =
+      static_cast<std::uint32_t>(dataset->layout().feature_row_bytes);
+  const std::uint32_t cover =
+      row_bytes % kSectorSize == 0
+          ? row_bytes
+          : static_cast<std::uint32_t>(round_up(row_bytes, kSectorSize)) +
+                kSectorSize;
+  const std::uint64_t staging =
+      4ull * staging_rows_for(cfg.coalesce, cfg.ring_depth) *
+      staging_row_bytes_for(cfg.coalesce, cover);
+  EXPECT_LE(env.mem->pinned(),
+            dataset->host_metadata_bytes() + staging + (64 << 10));
   const EpochStats stats = system.run_epoch(0);
   EXPECT_GT(stats.batches, 0u);
 }
