@@ -2,10 +2,17 @@
 //
 // Demonstrates the full public API: build a dataset, set up the simulated
 // environment (SSD + host memory + page cache), construct the GNNDrive
-// pipeline and train a few epochs, printing loss/accuracy.
+// pipeline with checkpointing enabled, resume from any previous run, train
+// a few epochs, and shut down gracefully on Ctrl-C (finish in-flight
+// batches, write a final checkpoint, exit cleanly).
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <thread>
 
 #include "core/pipeline.hpp"
+#include "util/signal.hpp"
 
 using namespace gnndrive;
 
@@ -30,17 +37,56 @@ int main() {
   ctx.host_mem = &host_mem;
   ctx.page_cache = &page_cache;
 
-  // 3. GNNDrive with default knobs: 4 samplers, 4 extractors, GraphSAGE.
+  // 3. GNNDrive with default knobs, plus crash-safe checkpoints every 8
+  //    trained batches (docs/recovery.md).
   GnnDriveConfig cfg;
   cfg.common.model.kind = ModelKind::kSage;
   cfg.common.model.hidden_dim = 32;
   cfg.common.sampler.fanouts = {10, 10, 10};
   cfg.common.batch_seeds = 16;
+  cfg.ckpt.enabled = true;
+  cfg.ckpt.dir = "quickstart-ckpt";
+  cfg.ckpt.interval_batches = 8;
   GnnDrive system(ctx, cfg);
 
-  // 4. Train.
-  for (std::uint64_t epoch = 0; epoch < 5; ++epoch) {
+  // 4. Graceful Ctrl-C: the watcher translates the (async-signal-safe)
+  //    flag into a pipeline drain request; run_epoch then returns with
+  //    stats.interrupted set and the cursor at the first untrained batch.
+  ShutdownSignal::install();
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&] {
+    while (!watcher_stop.load()) {
+      if (ShutdownSignal::requested()) {
+        system.request_stop();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  // 5. Resume from a previous interrupted run, if a checkpoint exists.
+  std::uint64_t first_epoch = 0;
+  if (auto resumed = system.resume()) {
+    first_epoch = resumed->epoch;
+    std::printf("resumed from generation %llu: epoch %llu, batch %llu\n",
+                static_cast<unsigned long long>(resumed->generation),
+                static_cast<unsigned long long>(resumed->epoch),
+                static_cast<unsigned long long>(resumed->next_batch));
+  }
+
+  // 6. Train. Each epoch boundary (and every 8 trained batches) writes a
+  //    checkpoint generation; an interrupted epoch stops after in-flight
+  //    batches drain.
+  for (std::uint64_t epoch = first_epoch; epoch < 5; ++epoch) {
     EpochStats stats = system.run_epoch(epoch);
+    if (stats.interrupted) {
+      std::printf("interrupted by %s: checkpointed at generation %llu\n",
+                  ShutdownSignal::signal_number() == SIGTERM ? "SIGTERM"
+                                                            : "SIGINT",
+                  static_cast<unsigned long long>(
+                      system.checkpoint_manager()->manifest_generation()));
+      break;
+    }
     const double val_acc = system.evaluate();
     std::printf(
         "epoch %llu: %.3f s, %llu batches, loss %.4f, "
@@ -49,6 +95,9 @@ int main() {
         static_cast<unsigned long long>(stats.batches), stats.loss,
         stats.train_accuracy, val_acc);
   }
+
+  watcher_stop.store(true);
+  watcher.join();
 
   const auto fb_stats = system.feature_buffer().stats();
   std::printf("feature buffer: %llu loads, %llu reuse hits, %llu wait hits\n",

@@ -5,8 +5,14 @@
 // Demonstrates the GNNDrive-Serve API (docs/serving.md): construct a
 // ServeEngine over a GnnDrive host, submit requests (futures), coalesce
 // them into micro-batches, enforce an SLO deadline, and read the serving
-// report. The last section keeps serving while another training epoch runs
-// concurrently on the shared feature buffer.
+// report. The middle section keeps serving while another training epoch
+// runs concurrently on the shared feature buffer, then hot-swaps the
+// serving replicas to the epoch's checkpoint generation without dropping a
+// request (docs/recovery.md). Ctrl-C drains both sides gracefully: the
+// trainer finishes in-flight batches and checkpoints, the serve workers
+// resolve every admitted future before stop() returns.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -14,10 +20,13 @@
 
 #include "core/pipeline.hpp"
 #include "serve/engine.hpp"
+#include "util/signal.hpp"
 
 using namespace gnndrive;
 
 int main() {
+  ShutdownSignal::install();
+
   // 1. Dataset + simulated environment (same setup as quickstart).
   DatasetSpec spec = toy_spec(/*feature_dim=*/128);
   Dataset dataset = Dataset::build(spec);
@@ -32,18 +41,25 @@ int main() {
   ctx.host_mem = &host_mem;
   ctx.page_cache = &page_cache;
 
-  // 2. Train for a few epochs first.
+  // 2. Train for a few epochs first, checkpointing at every epoch boundary.
   GnnDriveConfig cfg;
   cfg.common.model.kind = ModelKind::kSage;
   cfg.common.model.hidden_dim = 32;
   cfg.common.sampler.fanouts = {10, 10, 10};
   cfg.common.batch_seeds = 16;
+  cfg.ckpt.enabled = true;
+  cfg.ckpt.dir = "serve-demo-ckpt";
   GnnDrive system(ctx, cfg);
   for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    if (ShutdownSignal::requested()) system.request_stop();
     EpochStats stats = system.run_epoch(epoch);
     std::printf("train epoch %llu: %.3f s, loss %.4f, acc %.3f\n",
                 static_cast<unsigned long long>(epoch), stats.epoch_seconds,
                 stats.loss, stats.train_accuracy);
+    if (stats.interrupted) {
+      std::printf("interrupted during training; checkpointed, exiting\n");
+      return 0;
+    }
   }
 
   // 3. Serve: micro-batches of up to 8 requests, a 300 us coalescing
@@ -78,7 +94,14 @@ int main() {
 
   // 4. Keep serving while one more training epoch runs concurrently: both
   //    sides share the feature buffer without deadlocking (serving pins
-  //    only the slots beyond training's reserve).
+  //    only the slots beyond training's reserve). A Ctrl-C here drains the
+  //    trainer mid-epoch; serving keeps answering until stop() below.
+  std::thread watcher([&] {
+    while (!ShutdownSignal::requested() && !system.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (ShutdownSignal::requested()) system.request_stop();
+  });
   std::thread trainer([&] { system.run_epoch(3); });
   futures.clear();
   for (NodeId node = 0; node < 64; ++node) {
@@ -86,7 +109,17 @@ int main() {
   }
   for (auto& f : futures) f.get();
   trainer.join();
-  engine.refresh_params();  // pick up the newly trained parameters
+  if (!system.stop_requested()) system.request_stop();  // unblock the watcher
+  watcher.join();
+
+  // 5. Hot-swap the serving replicas to the newest checkpoint generation —
+  //    epoch 3's boundary checkpoint (or the drain checkpoint on Ctrl-C).
+  //    In-flight micro-batches finish on the old replicas; no request is
+  //    dropped.
+  const std::uint64_t gen = engine.hot_swap_from(*system.checkpoint_manager(),
+                                                 system.fingerprint());
+  std::printf("serving hot-swapped to checkpoint generation %llu\n",
+              static_cast<unsigned long long>(gen));
   engine.stop();
 
   std::printf("\n%s\n", engine.report().format().c_str());

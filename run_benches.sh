@@ -19,6 +19,26 @@
 #            (SSD read requests, rows per read, extract p50/p95) plus the
 #            coalescing differential/fault test suites (byte-identical
 #            features, per-segment failure granularity, zero leaks).
+#        ./run_benches.sh --ckpt [output-file]
+#            crash-recovery mode: runs the checkpoint-overhead bench plus
+#            the crash matrix (writer aborted at every protocol phase,
+#            bit-exact resume), media-corruption fallback, serve hot-swap
+#            and the kill-and-resume soak (see docs/recovery.md).
+if [ "$1" = "--ckpt" ]; then
+  shift
+  OUT="${1:-ckpt_recovery_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ crash recovery (bench/ckpt_overhead + Crc32c/Checkpoint/CkptPipeline/CkptSoak) ############"
+    timeout 580 build/bench/ckpt_overhead 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tests/gnndrive_tests \
+      --gtest_filter='Crc32c.*:Checkpoint.*:CkptPipeline.*:CkptSoak.*' 2>&1
+    echo "[exit=$?]"
+    echo CKPT_RECOVERY_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--coalesce" ]; then
   shift
   OUT="${1:-coalesce_ab_output.txt}"

@@ -214,6 +214,15 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
       static_cast<unsigned long long>(max_batch_nodes_),
       static_cast<unsigned long long>(feature_slots_),
       static_cast<double>(staging_bytes) / (1 << 20));
+
+  // Checkpoint/recovery (src/ckpt): the training RNG stream is seeded from
+  // the run seed so a fresh instance and a restored one agree by
+  // construction until the first trained batch diverges them.
+  train_rng_ = Rng(splitmix64(config_.common.run_seed));
+  if (config_.ckpt.enabled) {
+    ckpt_mgr_ =
+        std::make_unique<CheckpointManager>(config_.ckpt, ctx_.telemetry);
+  }
 }
 
 GnnDrive::~GnnDrive() = default;
@@ -404,7 +413,7 @@ bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   return ok;
 }
 
-void GnnDrive::train_batch(SampledBatch& batch, EpochStats& stats) {
+double GnnDrive::train_batch(SampledBatch& batch, EpochStats& stats) {
   const std::uint32_t dim = ctx_.dataset->spec().feature_dim;
   Tensor x0(static_cast<std::uint32_t>(batch.num_nodes()), dim);
 
@@ -462,6 +471,46 @@ void GnnDrive::train_batch(SampledBatch& batch, EpochStats& stats) {
   stats.train_accuracy += ts.total > 0 ? static_cast<double>(ts.correct) /
                                              static_cast<double>(ts.total)
                                        : 0.0;
+  return ts.loss;
+}
+
+std::uint64_t GnnDrive::write_checkpoint(std::uint64_t epoch,
+                                         std::uint64_t next_batch) {
+  TrainCursor cursor;
+  cursor.epoch = epoch;
+  cursor.next_batch = next_batch;
+  cursor.trained_batches = total_trained_;
+  cursor.fingerprint = fingerprint();
+  cursor.rng_streams.push_back(RngStream{0, train_rng_.state()});
+  return ckpt_mgr_->write(cursor, *model_, adam_);
+}
+
+std::uint64_t GnnDrive::checkpoint() {
+  GD_CHECK_MSG(ckpt_mgr_ != nullptr,
+               "checkpoint() requires GnnDriveConfig::ckpt.enabled");
+  if (gpu_ != nullptr) gpu_->sync();
+  return write_checkpoint(cur_epoch_, cursor_.load());
+}
+
+std::optional<GnnDrive::ResumeInfo> GnnDrive::resume() {
+  if (ckpt_mgr_ == nullptr) return std::nullopt;
+  auto loaded = ckpt_mgr_->load_latest(*model_, &adam_, fingerprint());
+  if (!loaded.has_value()) return std::nullopt;
+  cur_epoch_ = loaded->cursor.epoch;
+  cursor_.store(loaded->cursor.next_batch);
+  total_trained_ = loaded->cursor.trained_batches;
+  for (const RngStream& stream : loaded->cursor.rng_streams) {
+    if (stream.id == 0) train_rng_.set_state(stream.state);
+  }
+  has_resume_ = true;
+  resume_epoch_ = cur_epoch_;
+  resume_cursor_ = loaded->cursor.next_batch;
+  ResumeInfo info;
+  info.epoch = cur_epoch_;
+  info.next_batch = resume_cursor_;
+  info.generation = loaded->generation;
+  info.fallbacks = loaded->fallbacks;
+  return info;
 }
 
 EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
@@ -487,6 +536,19 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     if (equal > 0 && batches.size() > equal) batches.resize(equal);
   }
   const std::size_t n_batches = batches.size();
+
+  // Resume cursor: the first run_epoch after resume() starts mid-epoch at
+  // the checkpointed batch; the shuffle above is deterministic per
+  // (run_seed, epoch), so batches[start..] are exactly the ones the
+  // interrupted run never trained.
+  std::size_t start = 0;
+  if (has_resume_ && epoch == resume_epoch_) {
+    start = std::min<std::size_t>(resume_cursor_, n_batches);
+  }
+  has_resume_ = false;
+  cur_epoch_ = epoch;
+  cursor_.store(start);
+  const bool ckpt_on = ckpt_mgr_ != nullptr;
 
   // Observability handles for this epoch (see docs/observability.md). Stage
   // histograms are always-on relaxed atomics; spans are recorded only while
@@ -537,7 +599,7 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   };
   const FeatureBufferStats fb_before = feature_buffer_->stats();
 
-  std::atomic<std::size_t> next_batch{0};
+  std::atomic<std::size_t> next_batch{start};
   std::atomic<std::uint64_t> sample_ns{0};
   std::atomic<std::uint64_t> extract_ns{0};
   // Epoch fault accounting (EpochResult), merged from per-worker counters.
@@ -560,7 +622,7 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   };
 
   EpochStats stats;
-  stats.batches = n_batches;
+  stats.batches = n_batches - start;
   const TimePoint t0 = Clock::now();
 
   std::vector<std::thread> samplers;
@@ -569,6 +631,9 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
       try {
         MmapTopology topo(ds, *ctx_.page_cache);
         for (;;) {
+          // Graceful drain: a stop request stops claiming new batches; the
+          // already-claimed ones finish through the pipeline normally.
+          if (stop_requested_.load(std::memory_order_relaxed)) break;
           const std::size_t b = next_batch.fetch_add(1);
           if (b >= n_batches) break;
           const TimePoint ts = Clock::now();
@@ -715,6 +780,8 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     }
     // Trainer.
     workers.emplace_back([&] {
+      std::uint64_t trained_here = 0;
+      std::uint32_t since_ckpt = 0;
       try {
         for (;;) {
           const TimePoint qb = tracing ? Clock::now() : TimePoint{};
@@ -725,7 +792,7 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
                            Clock::now());
           }
           const TimePoint ts = Clock::now();
-          train_batch(*batch, stats);
+          const double loss = train_batch(*batch, stats);
           const TimePoint te = Clock::now();
           stats.train_seconds += to_seconds(te - ts);
           stage_done(h_train, rh_train, ts, te);
@@ -733,9 +800,27 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
             tracer->record(kSpanTrain, batch->batch_id, epoch32, ts, te);
           }
           trained_batches.fetch_add(1);
+          // Advance the checkpoint cursor: with one sampler and one
+          // extractor batches train strictly in order, so "count trained"
+          // equals "index of the next untrained batch" and resume is
+          // bit-exact; multi-worker runs reorder and resume approximately
+          // (docs/recovery.md).
+          ++trained_here;
+          ++total_trained_;
+          cursor_.store(start + trained_here);
+          train_rng_();
+          if (config_.record_batch_losses) stats.batch_losses.push_back(loss);
           if (auto item = release_q.push_or_reclaim(
                   ReleaseItem{batch->batch_id, std::move(batch->nodes)})) {
             feature_buffer_->release(item->nodes);  // epoch aborting; see above
+          }
+          if (ckpt_on && config_.ckpt.interval_batches > 0 &&
+              ++since_ckpt >= config_.ckpt.interval_batches) {
+            since_ckpt = 0;
+            // A CrashInjected here propagates through capture_error like a
+            // process death: queues close, the epoch aborts, and recovery
+            // must cope with whatever the protocol left on disk.
+            write_checkpoint(epoch, start + trained_here);
           }
         }
         release_q.close();
@@ -806,6 +891,18 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   {
     std::lock_guard lk(err_mu);
     if (error) std::rethrow_exception(error);
+  }
+
+  // Epoch boundary: roll the cursor into the next epoch, or — when a stop
+  // request drained the epoch early — leave it pointing at the first
+  // untrained batch of this one, then take the boundary checkpoint.
+  stats.interrupted = stop_requested_.load();
+  if (!stats.interrupted) {
+    cur_epoch_ = epoch + 1;
+    cursor_.store(0);
+  }
+  if (ckpt_on && !config_.common.sample_only) {
+    write_checkpoint(cur_epoch_, cursor_.load());
   }
 
   stats.epoch_seconds = to_seconds(Clock::now() - t0);

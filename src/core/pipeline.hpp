@@ -31,8 +31,10 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 
 #include "aio/io_ring.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/extract.hpp"
 #include "core/feature_buffer.hpp"
 #include "core/system.hpp"
@@ -99,6 +101,13 @@ struct GnnDriveConfig {
   /// Fraction of currently-free host memory the staging buffer may pin.
   double staging_fraction = 0.5;
   GpuConfig gpu;
+  /// Crash-safe checkpoint/restore (src/ckpt, docs/recovery.md). Disabled
+  /// by default; when enabled the trainer writes a generation every
+  /// `interval_batches` trained batches plus one at each epoch boundary.
+  CheckpointConfig ckpt;
+  /// Record every trained batch's loss into EpochStats::batch_losses
+  /// (training order). Test/debug aid for deterministic-resume assertions.
+  bool record_batch_losses = false;
 };
 
 class GnnDrive final : public TrainSystem {
@@ -133,12 +142,63 @@ class GnnDrive final : public TrainSystem {
     segment_count_ = count;
   }
 
+  // -- Checkpoint / recovery (src/ckpt, docs/recovery.md) -------------------
+
+  /// Asks the running epoch to drain: samplers stop claiming batches, the
+  /// in-flight ones finish through the pipeline, and run_epoch returns with
+  /// EpochStats::interrupted set and the cursor at the first untrained
+  /// batch. Safe from a signal-watcher thread. The flag is sticky — a
+  /// stopped instance is expected to checkpoint and be torn down, with a
+  /// fresh instance resuming from the checkpoint.
+  void request_stop() { stop_requested_.store(true); }
+  bool stop_requested() const { return stop_requested_.load(); }
+
+  /// Writes a checkpoint at the current cursor. Must not race a running
+  /// epoch — call between run_epoch calls or after an interrupted epoch
+  /// returned (the trainer takes its own periodic checkpoints while the
+  /// epoch runs). Returns the generation written. Requires ckpt.enabled.
+  std::uint64_t checkpoint();
+
+  struct ResumeInfo {
+    std::uint64_t epoch = 0;       ///< epoch to resume into
+    std::uint64_t next_batch = 0;  ///< first batch of `epoch` to train
+    std::uint64_t generation = 0;  ///< checkpoint generation adopted
+    std::uint32_t fallbacks = 0;   ///< corrupt newer generations skipped
+  };
+
+  /// Restores the newest valid checkpoint: model parameters, Adam state,
+  /// the training RNG stream and the epoch/batch cursor. The next
+  /// run_epoch(info.epoch) call then starts at info.next_batch. Returns
+  /// nullopt when no valid checkpoint exists (fresh start). Single-extractor
+  /// single-sampler configurations resume bit-exactly (in-order training);
+  /// multi-worker runs resume at the trained-batch count, which is exact in
+  /// batches but approximate in order (docs/recovery.md).
+  std::optional<ResumeInfo> resume();
+
+  CheckpointManager* checkpoint_manager() { return ckpt_mgr_.get(); }
+  /// Test hook: forwards to the manager (no-op when checkpointing is off).
+  void set_crash_injector(CrashInjector* injector) {
+    if (ckpt_mgr_ != nullptr) ckpt_mgr_->set_crash_injector(injector);
+  }
+  /// Identity of this run's checkpoints — what load_latest / hot_swap_from
+  /// verify before adopting a generation.
+  ModelFingerprint fingerprint() const {
+    return ModelFingerprint::from(config_.common.model,
+                                  config_.common.run_seed,
+                                  config_.common.batch_seeds);
+  }
+
  private:
   struct ExtractorState;
   /// Returns true on success; false when the batch was abandoned after
   /// exhausting retries (its refs must still be released by the caller).
   bool extract_batch(SampledBatch& batch, ExtractorState& state);
-  void train_batch(SampledBatch& batch, EpochStats& stats);
+  /// Returns this batch's training loss (also accumulated into stats).
+  double train_batch(SampledBatch& batch, EpochStats& stats);
+  /// Serializes the current training state as (epoch, next_batch). Called
+  /// from the trainer thread (periodic) or between epochs (boundary /
+  /// explicit); never from both at once.
+  std::uint64_t write_checkpoint(std::uint64_t epoch, std::uint64_t next_batch);
 
   RunContext ctx_;
   GnnDriveConfig config_;
@@ -174,6 +234,22 @@ class GnnDrive final : public TrainSystem {
   GradSyncHook grad_sync_;
   std::uint32_t segment_index_ = 0;
   std::uint32_t segment_count_ = 1;
+
+  // Checkpoint/recovery state. The cursor always points at the first batch
+  // of cur_epoch_ not yet trained; the trainer advances it, run_epoch rolls
+  // it over at epoch boundaries, resume() seeds it from a checkpoint.
+  std::unique_ptr<CheckpointManager> ckpt_mgr_;
+  std::uint64_t cur_epoch_ = 0;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::uint64_t total_trained_ = 0;  ///< lifetime trained batches
+  /// The checkpointed training-time RNG stream (id 0): advanced once per
+  /// trained batch so any stochastic training-side consumer (dropout, loss
+  /// noise) added later inherits deterministic resume for free.
+  Rng train_rng_{0};
+  std::atomic<bool> stop_requested_{false};
+  bool has_resume_ = false;
+  std::uint64_t resume_epoch_ = 0;
+  std::uint64_t resume_cursor_ = 0;
 };
 
 }  // namespace gnndrive

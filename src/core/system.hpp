@@ -126,6 +126,13 @@ struct EpochStats {
   double loss = 0.0;            ///< mean training loss over the epoch
   double train_accuracy = 0.0;  ///< mini-batch argmax accuracy
   std::uint64_t batches = 0;
+  /// True when the epoch drained early because request_stop() was called;
+  /// the cursor then points at the first untrained batch of this epoch.
+  bool interrupted = false;
+  /// Per-trained-batch losses in training order, filled only when
+  /// GnnDriveConfig::record_batch_losses is set (crash-matrix tests compare
+  /// these trajectories across interrupted and uninterrupted runs).
+  std::vector<double> batch_losses;
   EpochResult result;           ///< fault/recovery summary (zero when clean)
   EpochObs obs;                 ///< latency/queue/buffer report (GNNDrive)
 };

@@ -54,6 +54,12 @@ class Adam {
   void step(const std::vector<Param*>& params);
   void zero_grad(const std::vector<Param*>& params);
 
+  /// Bias-correction step count — the only optimizer state outside the
+  /// per-parameter m/v tensors. Exposed for checkpoint/restore: restoring
+  /// t alongside m/v makes a resumed Adam step bit-exact.
+  std::uint64_t timestep() const { return t_; }
+  void set_timestep(std::uint64_t t) { t_ = t; }
+
  private:
   AdamConfig config_;
   std::uint64_t t_ = 0;

@@ -75,10 +75,19 @@ std::string ServeReport::format() const {
   return out;
 }
 
+struct ServeEngine::ModelSet {
+  std::uint64_t version = 0;  ///< checkpoint generation of the last hot swap
+  std::vector<std::unique_ptr<GnnModel>> replicas;  ///< one per worker
+};
+
 struct ServeEngine::WorkerState {
   std::unique_ptr<MmapTopology> topo;
   std::unique_ptr<IoRing> ring;
   std::uint8_t* staging_base = nullptr;  ///< staging_rows_ segment-wide rows
+  /// Replica set pinned for the current micro-batch (drain-and-swap: held
+  /// until the batch finishes, so a concurrent publish never frees a model
+  /// under an in-flight forward pass).
+  std::shared_ptr<const ModelSet> models;
   GnnModel* model = nullptr;             ///< this worker's forward replica
   ExtractMetricHooks hooks;              ///< io.coalesce.* (null w/o registry)
 };
@@ -127,9 +136,14 @@ ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
 
   // Per-worker forward replicas: GnnModel's forward caches are per-instance
   // state, so the training model cannot be shared across serve workers.
-  for (std::uint32_t w = 0; w < config_.workers; ++w) {
-    replicas_.push_back(std::make_unique<GnnModel>(sub_.params->config()));
-    replicas_.back()->copy_params_from(*sub_.params);
+  {
+    auto initial = std::make_shared<ModelSet>();
+    for (std::uint32_t w = 0; w < config_.workers; ++w) {
+      initial->replicas.push_back(
+          std::make_unique<GnnModel>(sub_.params->config()));
+      initial->replicas.back()->copy_params_from(*sub_.params);
+    }
+    models_ = std::move(initial);
   }
 
   if (ctx_.telemetry != nullptr) {
@@ -140,6 +154,8 @@ ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
     m_batches_ = &reg.counter("serve.batches");
     m_io_retries_ = &reg.counter("serve.io_retries");
     m_io_errors_ = &reg.counter("serve.io_errors");
+    m_hot_swaps_ = &reg.counter("serve.hot_swaps");
+    m_model_gen_ = &reg.gauge("serve.model_generation");
     m_pinned_ = &reg.gauge("serve.pinned");
     rm_latency_ = &reg.histogram("serve.latency.us");
     rm_queue_wait_ = &reg.histogram("serve.queue_wait.us");
@@ -210,8 +226,53 @@ void ServeEngine::stop() {
   }
 }
 
+std::shared_ptr<const ServeEngine::ModelSet> ServeEngine::current_models()
+    const {
+  std::lock_guard lk(models_mu_);
+  return models_;
+}
+
+void ServeEngine::publish_models(std::shared_ptr<const ModelSet> set) {
+  std::lock_guard lk(models_mu_);
+  models_ = std::move(set);
+  if (m_model_gen_ != nullptr) {
+    m_model_gen_->set(static_cast<std::int64_t>(models_->version));
+  }
+}
+
+std::uint64_t ServeEngine::model_generation() const {
+  std::lock_guard lk(models_mu_);
+  return models_->version;
+}
+
 void ServeEngine::refresh_params() {
-  for (auto& r : replicas_) r->copy_params_from(*sub_.params);
+  auto set = std::make_shared<ModelSet>();
+  set->version = model_generation();
+  for (std::uint32_t w = 0; w < config_.workers; ++w) {
+    set->replicas.push_back(std::make_unique<GnnModel>(sub_.params->config()));
+    set->replicas.back()->copy_params_from(*sub_.params);
+  }
+  publish_models(std::move(set));
+}
+
+std::uint64_t ServeEngine::hot_swap_from(CheckpointManager& manager,
+                                         const ModelFingerprint& expect) {
+  // Stage into a scratch model first: a corrupt or absent checkpoint must
+  // leave the live replicas untouched.
+  GnnModel staged(sub_.params->config());
+  auto loaded = manager.load_latest(staged, /*adam=*/nullptr, expect);
+  if (!loaded.has_value()) return 0;
+  auto set = std::make_shared<ModelSet>();
+  set->version = loaded->generation;
+  for (std::uint32_t w = 0; w < config_.workers; ++w) {
+    set->replicas.push_back(std::make_unique<GnnModel>(sub_.params->config()));
+    set->replicas.back()->copy_params_from(staged);
+  }
+  publish_models(std::move(set));
+  if (m_hot_swaps_ != nullptr) m_hot_swaps_->add();
+  GD_LOG_INFO("ServeEngine: hot-swapped to checkpoint generation %llu",
+              static_cast<unsigned long long>(loaded->generation));
+  return loaded->generation;
 }
 
 void ServeEngine::acquire_pins(std::uint64_t n) {
@@ -278,7 +339,6 @@ void ServeEngine::worker_loop(std::uint32_t worker_id) {
   ws.ring = std::make_unique<IoRing>(*ctx_.ssd, rc, nullptr, ctx_.telemetry);
   ws.staging_base = staging_.data() + static_cast<std::uint64_t>(worker_id) *
                                           staging_rows_ * staging_row_bytes_;
-  ws.model = replicas_[worker_id].get();
   if (ctx_.telemetry != nullptr) {
     MetricsRegistry& reg = *ctx_.telemetry->metrics();
     ws.hooks.segments = &reg.counter("io.coalesce.segments");
@@ -288,7 +348,13 @@ void ServeEngine::worker_loop(std::uint32_t worker_id) {
   for (;;) {
     auto batch = coalescer_.collect();
     if (batch.empty()) return;  // queue closed & drained
+    // Resolve the replica set at the micro-batch boundary and pin it for
+    // the batch's duration — the drain half of drain-and-swap.
+    ws.models = current_models();
+    ws.model = ws.models->replicas[worker_id].get();
     process_batch(std::move(batch), ws);
+    ws.model = nullptr;
+    ws.models.reset();  // retire the old set promptly after a swap
   }
 }
 

@@ -86,9 +86,25 @@ class ServeEngine : NonCopyable {
   void stop();
   bool running() const { return running_; }
 
-  /// Re-copies parameters from the substrate's source model (e.g. after
-  /// further training epochs). Not concurrent with in-flight inference.
+  /// Publishes a fresh replica set copied from the substrate's source model
+  /// (e.g. after further training epochs). Safe concurrent with in-flight
+  /// inference — workers re-resolve the replica set at each micro-batch
+  /// boundary (drain-and-swap), so no request ever observes a half-updated
+  /// model and none is dropped. The source model itself must be quiescent
+  /// (not mid-training-step) while the copy runs.
   void refresh_params();
+
+  /// Hot-swaps the worker replicas to the newest valid checkpoint
+  /// generation (parameters only — serving has no optimizer state). Same
+  /// drain-and-swap guarantee as refresh_params, and a corrupt or absent
+  /// checkpoint leaves the live replicas untouched: the load stages into a
+  /// scratch model first. Returns the generation adopted, 0 if none.
+  std::uint64_t hot_swap_from(CheckpointManager& manager,
+                              const ModelFingerprint& expect);
+
+  /// Version of the replica set workers currently resolve: the checkpoint
+  /// generation of the last hot swap (refresh_params keeps the version).
+  std::uint64_t model_generation() const;
 
   /// Aggregate serving report (also published under "serve.*" metrics).
   ServeReport report() const;
@@ -97,6 +113,14 @@ class ServeEngine : NonCopyable {
 
  private:
   struct WorkerState;
+  /// Versioned, immutable-once-published set of per-worker forward
+  /// replicas: the hot-swap unit. Workers grab the current set at each
+  /// micro-batch boundary and hold the shared_ptr for the batch's
+  /// duration; publishing a new set retires the old one when its last
+  /// in-flight batch finishes.
+  struct ModelSet;
+  std::shared_ptr<const ModelSet> current_models() const;
+  void publish_models(std::shared_ptr<const ModelSet> set);
   void worker_loop(std::uint32_t worker_id);
   void process_batch(std::vector<PendingRequest>&& batch, WorkerState& ws);
   /// Algorithm-1 extraction for a serve micro-batch; returns false when the
@@ -126,7 +150,8 @@ class ServeEngine : NonCopyable {
   PinnedBytes staging_pin_;
   std::vector<std::uint8_t> staging_;  ///< workers x staging_rows_ slots
 
-  std::vector<std::unique_ptr<GnnModel>> replicas_;
+  mutable std::mutex models_mu_;
+  std::shared_ptr<const ModelSet> models_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_batch_seq_{0};
   bool running_ = false;
@@ -151,6 +176,8 @@ class ServeEngine : NonCopyable {
   Counter* m_batches_ = nullptr;        ///< serve.batches
   Counter* m_io_retries_ = nullptr;     ///< serve.io_retries
   Counter* m_io_errors_ = nullptr;      ///< serve.io_errors
+  Counter* m_hot_swaps_ = nullptr;      ///< serve.hot_swaps
+  Gauge* m_model_gen_ = nullptr;        ///< serve.model_generation
   Gauge* m_pinned_ = nullptr;           ///< serve.pinned (nodes pinned)
   ConcurrentHistogram* rm_latency_ = nullptr;     ///< serve.latency.us
   ConcurrentHistogram* rm_queue_wait_ = nullptr;  ///< serve.queue_wait.us

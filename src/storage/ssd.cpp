@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
@@ -151,6 +153,35 @@ Duration SsdDevice::service_time(Op op, std::uint32_t len) const {
 }
 
 void SsdDevice::set_fault_config(const SsdFaultConfig& config) {
+  // Validate loudly before arming: a NaN or out-of-range probability would
+  // silently disable (or always fire) the corresponding fault, turning a
+  // test-configuration typo into a meaningless soak run.
+  if (config.enabled) {
+    const auto check_probability = [](const char* name, double p) {
+      if (!(p >= 0.0 && p <= 1.0)) {  // !(..) also rejects NaN
+        throw std::invalid_argument(
+            std::string("SsdFaultConfig::") + name +
+            " must be a probability in [0, 1], got " + std::to_string(p));
+      }
+    };
+    check_probability("eio_probability", config.eio_probability);
+    check_probability("spike_probability", config.spike_probability);
+    check_probability("stuck_probability", config.stuck_probability);
+    if (!(config.spike_multiplier >= 1.0) ||
+        !(config.spike_multiplier <= 1e6)) {
+      throw std::invalid_argument(
+          "SsdFaultConfig::spike_multiplier must be in [1, 1e6], got " +
+          std::to_string(config.spike_multiplier));
+    }
+    for (const auto& range : config.bad_ranges) {
+      if (range.begin >= range.end) {
+        throw std::invalid_argument(
+            "SsdFaultConfig::bad_ranges entry [" +
+            std::to_string(range.begin) + ", " + std::to_string(range.end) +
+            ") is empty or inverted");
+      }
+    }
+  }
   std::lock_guard lock(mu_);
   injector_ = config.enabled ? std::make_unique<FaultInjector>(config)
                              : nullptr;

@@ -197,7 +197,11 @@ class SsdDevice : NonCopyable {
   void drain();
 
   /// Installs (enabled) or removes (disabled) the fault injector. Runtime
-  /// togglable; takes effect for subsequently submitted requests.
+  /// togglable; takes effect for subsequently submitted requests. An
+  /// enabled config is validated first — probabilities must lie in [0, 1]
+  /// (NaN rejected), spike_multiplier in [1, 1e6], and bad_ranges must be
+  /// non-empty intervals — and a bad value throws std::invalid_argument
+  /// without touching the installed injector.
   void set_fault_config(const SsdFaultConfig& config);
   SsdFaultConfig fault_config() const;
 

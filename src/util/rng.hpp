@@ -3,6 +3,7 @@
 // Deterministic per seed so every experiment is reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -15,6 +16,10 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+/// The full 256-bit state of an Rng stream. Plain words so streams can be
+/// serialized (checkpoint/restore) and restored bit-exactly.
+using RngState = std::array<std::uint64_t, 4>;
 
 /// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -56,6 +61,14 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double() {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Snapshot of the generator state. Restoring it with set_state resumes
+  /// the stream exactly where the snapshot was taken — the property the
+  /// checkpoint layer's deterministic-resume guarantee builds on.
+  RngState state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const RngState& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
   }
 
   /// Standard normal via Box-Muller (one value per call; cheap enough).

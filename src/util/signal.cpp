@@ -1,0 +1,30 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+
+namespace gnndrive {
+
+std::atomic<int> ShutdownSignal::signum_{0};
+
+namespace {
+
+std::atomic<int>* flag_for_handler = nullptr;
+
+void on_signal(int signum) {
+  // Async-signal-safe: restore the default disposition first — so a second
+  // signal force-kills a wedged process — then publish the flag.
+  std::signal(signum, SIG_DFL);
+  if (flag_for_handler != nullptr) {
+    flag_for_handler->store(signum, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void ShutdownSignal::install() {
+  flag_for_handler = &signum_;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+}  // namespace gnndrive

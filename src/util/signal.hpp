@@ -1,0 +1,40 @@
+// Graceful SIGINT/SIGTERM shutdown for the example and bench drivers.
+//
+// install() arms async-signal-safe handlers that only set a flag; drivers
+// poll requested() (or run a tiny watcher thread) and translate it into
+// GnnDrive::request_stop() + a final checkpoint + ServeEngine::stop(). The
+// first signal requests the graceful drain; the handler then restores the
+// default disposition, so a second Ctrl-C force-kills a wedged process —
+// the conventional escape hatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gnndrive {
+
+class ShutdownSignal {
+ public:
+  /// Arms SIGINT and SIGTERM. Idempotent; process-wide (signal disposition
+  /// is a process attribute, so there is one flag for the whole process).
+  static void install();
+
+  /// True once a signal arrived. Cheap enough to poll per batch.
+  static bool requested() {
+    return signum_.load(std::memory_order_relaxed) != 0;
+  }
+  /// The signal that arrived (SIGINT/SIGTERM), or 0.
+  static int signal_number() {
+    return signum_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the flag (tests; or a driver that handled the drain and wants
+  /// to re-arm). Does not re-install handlers — call install() again after
+  /// a signal fired, since the handler restored the default disposition.
+  static void reset() { signum_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<int> signum_;
+};
+
+}  // namespace gnndrive

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 
 #include "storage/ssd.hpp"
@@ -264,6 +266,77 @@ TEST(SsdFaults, TryCancelFailsAfterCompletion) {
   EXPECT_EQ(completions.load(), 1);
   EXPECT_FALSE(ssd.try_cancel(token));
   EXPECT_EQ(ssd.stats().cancelled, 0u);
+}
+
+TEST(SsdFaults, SetFaultConfigRejectsBadProbabilities) {
+  auto image = make_image(64 * 1024);
+  SsdDevice ssd(fast_cfg(), image);
+  SsdFaultConfig faults;
+  faults.enabled = true;
+
+  faults.eio_probability = -0.1;
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.eio_probability = 1.5;
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.eio_probability = std::nan("");
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.eio_probability = 0.0;
+
+  faults.spike_probability = 2.0;
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.spike_probability = 0.0;
+
+  faults.stuck_probability = std::nan("");
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.stuck_probability = 0.0;
+
+  // Boundary values are legal.
+  faults.eio_probability = 1.0;
+  faults.spike_probability = 0.0;
+  EXPECT_NO_THROW(ssd.set_fault_config(faults));
+}
+
+TEST(SsdFaults, SetFaultConfigRejectsBadMultiplierAndRanges) {
+  auto image = make_image(64 * 1024);
+  SsdDevice ssd(fast_cfg(), image);
+  SsdFaultConfig faults;
+  faults.enabled = true;
+
+  faults.spike_multiplier = 0.5;  // would *speed up* spiked requests
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.spike_multiplier = std::nan("");
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.spike_multiplier = 20.0;
+
+  faults.bad_ranges.push_back({4096, 4096});  // empty interval
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.bad_ranges.back() = {8192, 4096};  // inverted
+  EXPECT_THROW(ssd.set_fault_config(faults), std::invalid_argument);
+  faults.bad_ranges.back() = {4096, 8192};
+  EXPECT_NO_THROW(ssd.set_fault_config(faults));
+}
+
+TEST(SsdFaults, RejectedConfigLeavesInstalledInjectorUntouched) {
+  auto image = make_image(64 * 1024);
+  SsdDevice ssd(fast_cfg(), image);
+  SsdFaultConfig good;
+  good.enabled = true;
+  good.bad_ranges.push_back({0, 4096});
+  ssd.set_fault_config(good);
+
+  SsdFaultConfig bad = good;
+  bad.eio_probability = 7.0;
+  EXPECT_THROW(ssd.set_fault_config(bad), std::invalid_argument);
+  // The previously armed injector still fires.
+  std::uint8_t buf[512];
+  EXPECT_EQ(ssd.read_sync(0, 512, buf), -EIO);
+
+  // A disabled config skips validation entirely (it installs nothing).
+  SsdFaultConfig off;
+  off.enabled = false;
+  off.eio_probability = 7.0;
+  EXPECT_NO_THROW(ssd.set_fault_config(off));
+  EXPECT_EQ(ssd.read_sync(0, 512, buf), 512);
 }
 
 TEST(SsdFaults, InjectorIsDeterministicPerSeed) {
