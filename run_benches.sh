@@ -24,6 +24,27 @@
 #            the crash matrix (writer aborted at every protocol phase,
 #            bit-exact resume), media-corruption fallback, serve hot-swap
 #            and the kill-and-resume soak (see docs/recovery.md).
+#        ./run_benches.sh --cache [output-file]
+#            cache-policy smoke mode: runs the lru/hotness/belady A/B sweep
+#            (hit rate, ssd.reads across skew levels and buffer budgets)
+#            plus the cache test suites (construction validation, pinned
+#            hot-partition semantics, LRU property/fuzz, byte-identical
+#            differential, checkpoint hot-set adoption).
+if [ "$1" = "--cache" ]; then
+  shift
+  OUT="${1:-cache_policy_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ cache-policy A/B (bench/cache_policy + cache/LRU suites) ############"
+    timeout 580 build/bench/cache_policy 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tests/gnndrive_tests \
+      --gtest_filter='CacheValidation.*:CachePolicyFixture.*:HotPartition*.*:IndexedLruProperty.*' 2>&1
+    echo "[exit=$?]"
+    echo CACHE_SMOKE_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--ckpt" ]; then
   shift
   OUT="${1:-ckpt_recovery_output.txt}"

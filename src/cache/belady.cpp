@@ -1,0 +1,170 @@
+#include "cache/belady.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "memsim/page_cache.hpp"
+#include "sampling/topology.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+
+namespace {
+
+/// Deduplicates one batch's node list, keeping first-occurrence order (the
+/// order triage sees).
+std::vector<NodeId> unique_nodes(const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> out;
+  out.reserve(nodes.size());
+  std::unordered_set<NodeId> seen;
+  seen.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+/// LRU core shared by simulate_lru and the cold region of simulate_hotness.
+/// `skip` (optional) marks always-resident nodes that bypass the cache.
+CacheSimResult run_lru(const AccessTrace& trace, std::uint64_t slots,
+                       const std::unordered_set<NodeId>* hot,
+                       CacheSimResult seed) {
+  CacheSimResult result = seed;
+  // Residency + standby modelled on the real buffer: nodes of the current
+  // batch hold references (unevictable); at batch end they retire to the
+  // MRU end of the standby list.
+  std::unordered_set<NodeId> resident;
+  std::list<NodeId> standby;  // front = LRU, back = MRU
+  std::unordered_map<NodeId, std::list<NodeId>::iterator> standby_pos;
+  std::uint64_t occupied = 0;
+
+  for (const auto& raw : trace) {
+    const std::vector<NodeId> batch = unique_nodes(raw);
+    std::vector<NodeId> mine;  // cold nodes this batch references
+    mine.reserve(batch.size());
+    for (NodeId v : batch) {
+      if (hot != nullptr && hot->count(v) > 0) {
+        ++result.lookups;
+        ++result.hits;
+        continue;  // pinned: always resident, never occupies a cold slot
+      }
+      ++result.lookups;
+      mine.push_back(v);
+      if (resident.count(v) > 0) {
+        ++result.hits;
+        const auto it = standby_pos.find(v);
+        if (it != standby_pos.end()) {
+          // Referenced again: leaves standby (cannot be reclaimed).
+          standby.erase(it->second);
+          standby_pos.erase(it);
+        }
+        continue;
+      }
+      // Miss: take a free slot or evict the LRU retired one.
+      if (occupied < slots) {
+        ++occupied;
+      } else {
+        GD_CHECK_MSG(!standby.empty(),
+                     "cache simulation under-provisioned: batch larger than "
+                     "the slot budget");
+        const NodeId victim = standby.front();
+        standby.pop_front();
+        standby_pos.erase(victim);
+        resident.erase(victim);
+      }
+      resident.insert(v);
+    }
+    // Release: this batch's nodes retire to the MRU end, in batch order.
+    for (NodeId v : mine) {
+      standby.push_back(v);
+      standby_pos[v] = std::prev(standby.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+AccessTrace record_access_trace(const Dataset& dataset, PageCache& page_cache,
+                                const SamplerConfig& sampler_config,
+                                std::uint32_t batch_seeds,
+                                std::uint64_t run_seed, std::uint64_t epoch,
+                                std::uint32_t max_batches) {
+  NeighborSampler sampler(sampler_config);
+  MmapTopology topo(dataset, page_cache);
+  const auto batches =
+      make_minibatches(dataset.train_nodes(), batch_seeds,
+                       splitmix64(run_seed ^ (epoch + 1)));
+  std::size_t n = batches.size();
+  if (max_batches > 0) n = std::min<std::size_t>(n, max_batches);
+
+  AccessTrace trace;
+  trace.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    SampledBatch batch =
+        sampler.sample(((epoch + 1) << 24) | b, batches[b], topo, nullptr);
+    trace.push_back(std::move(batch.nodes));
+  }
+  return trace;
+}
+
+CacheSimResult simulate_lru(const AccessTrace& trace, std::uint64_t slots) {
+  return run_lru(trace, slots, nullptr, CacheSimResult{});
+}
+
+CacheSimResult simulate_hotness(const AccessTrace& trace, std::uint64_t slots,
+                                const std::vector<NodeId>& hot) {
+  GD_CHECK_MSG(hot.size() < slots,
+               "simulate_hotness: hot set must leave cold slots");
+  const std::unordered_set<NodeId> hot_set(hot.begin(), hot.end());
+  return run_lru(trace, slots - hot_set.size(), &hot_set, CacheSimResult{});
+}
+
+CacheSimResult simulate_belady(const AccessTrace& trace, std::uint64_t slots) {
+  // Flatten to one access stream (per-batch deduplicated, like triage).
+  std::vector<NodeId> stream;
+  for (const auto& raw : trace) {
+    for (NodeId v : unique_nodes(raw)) stream.push_back(v);
+  }
+  const std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+  // next_use[i]: index of the next access of stream[i] after i.
+  std::vector<std::uint64_t> next_use(stream.size(), kNever);
+  std::unordered_map<NodeId, std::uint64_t> upcoming;
+  for (std::uint64_t i = stream.size(); i-- > 0;) {
+    const auto it = upcoming.find(stream[i]);
+    if (it != upcoming.end()) next_use[i] = it->second;
+    upcoming[stream[i]] = i;
+  }
+
+  CacheSimResult result;
+  // Resident set ordered by next use; ties impossible (distinct positions;
+  // kNever ties broken by node id).
+  std::set<std::pair<std::uint64_t, NodeId>> by_next_use;
+  std::unordered_map<NodeId, std::uint64_t> resident_next;  // node -> key
+  for (std::uint64_t i = 0; i < stream.size(); ++i) {
+    const NodeId v = stream[i];
+    ++result.lookups;
+    const auto it = resident_next.find(v);
+    if (it != resident_next.end()) {
+      ++result.hits;
+      by_next_use.erase({it->second, v});
+    } else if (resident_next.size() >= slots) {
+      // Evict the resident node used farthest in the future (or never).
+      const auto victim = std::prev(by_next_use.end());
+      resident_next.erase(victim->second);
+      by_next_use.erase(victim);
+    }
+    const std::uint64_t key = next_use[i] == kNever ? kNever - v : next_use[i];
+    resident_next[v] = key;
+    by_next_use.insert({key, v});
+  }
+  return result;
+}
+
+}  // namespace gnndrive

@@ -1,0 +1,118 @@
+// Hotness-aware feature-cache policy (pre-sampling admission + pinned hot
+// partition).
+//
+// GNNDrive's FeatureBuffer recycles slots with a pure-LRU standby list
+// (Sect. 4.2). On power-law graphs that discipline keeps evicting the hub
+// nodes every mini-batch re-fetches: the access stream is dominated by a
+// small set of high-degree nodes whose reuse distance still exceeds the
+// standby depth. Frequency-aware admission (Ginex) and static hot-node
+// partitions (BGL) recover most of the lost hits at near-zero runtime cost.
+// This module implements the static-partition variant:
+//
+//   1. Pre-sampling. Run the *existing* sampler for a configurable number
+//      of warm-up mini-batches — sampling only, no extraction or training —
+//      and histogram per-node access frequency. Sampling is topology-bound
+//      and orders of magnitude cheaper than extraction, so profiling B
+//      batches costs roughly B × t_sample, not B × t_batch.
+//   2. Hot partition. The top-K nodes by estimated frequency are read from
+//      the SSD once (through the same coalescing planner as extraction) and
+//      pinned into a dedicated slot region the eviction policy never
+//      touches; the cold tail keeps the LRU standby list. The deadlock-
+//      freedom invariant tightens to cold_slots >= Ne x Mb and the serve
+//      pin budget is computed from the cold region.
+//
+// The profiling pass uses its own shuffle-seed and batch-id streams,
+// disjoint from training's, so enabling the policy does not perturb any
+// training RNG: extracted features and the loss trajectory stay
+// byte-identical to policy=lru (differential-tested).
+//
+// The Belady oracle comparator lives next door in cache/belady.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/extract.hpp"
+#include "core/feature_buffer.hpp"
+#include "graph/dataset.hpp"
+#include "sampling/sampler.hpp"
+
+namespace gnndrive {
+
+class PageCache;
+class SsdDevice;
+class Telemetry;
+
+/// Slot-recycling policy for the feature buffer.
+enum class CachePolicy {
+  kLru,      ///< paper default: one LRU standby list over every slot
+  kHotness,  ///< pre-sampled hot partition + LRU over the cold remainder
+};
+
+const char* cache_policy_name(CachePolicy policy);
+
+struct CachePolicyConfig {
+  CachePolicy policy = CachePolicy::kLru;
+  /// Fraction of feature-buffer slots pinned for the hot partition (upper
+  /// bound — the partition never exceeds the profiled candidate count).
+  /// The pipeline REJECTS (std::invalid_argument) a fraction whose hot
+  /// target would leave cold_slots < Ne x Mb: silently shrinking the
+  /// partition would hide a misconfiguration, and growing the buffer or
+  /// lowering the fraction is a deliberate sizing decision.
+  double hot_fraction = 0.5;
+  /// Warm-up mini-batches the profiling pass samples.
+  std::uint32_t presample_batches = 64;
+};
+
+/// Throws std::invalid_argument on an unusable config (hot_fraction outside
+/// [0,1], zero profiling batches with kHotness) — the construction-time
+/// counterpart of the FeatureBuffer's own validation.
+void validate_cache_config(const CachePolicyConfig& config);
+
+/// Outcome of the pre-sampling pass.
+struct PresampleResult {
+  std::vector<NodeId> hot_nodes;  ///< top-K by frequency, ties by node id
+  std::uint32_t batches_profiled = 0;
+  std::uint64_t accesses = 0;      ///< sampled node occurrences, total
+  std::uint64_t hot_accesses = 0;  ///< ... that fall in hot_nodes
+  /// Fraction of the profiled access stream the hot set covers — the
+  /// expected hot-hit rate if epoch access frequencies match the profile.
+  double coverage() const {
+    return accesses > 0 ? static_cast<double>(hot_accesses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+  }
+};
+
+/// Runs the sampler for `num_batches` warm-up mini-batches over the
+/// training split and returns the `max_hot` most frequently accessed nodes.
+/// Deterministic per (dataset, sampler seed, run_seed); uses dedicated
+/// shuffle/batch-id streams so training RNG state is untouched.
+PresampleResult presample_hot_set(const Dataset& dataset,
+                                  PageCache& page_cache,
+                                  const SamplerConfig& sampler_config,
+                                  std::uint32_t batch_seeds,
+                                  std::uint64_t run_seed,
+                                  std::uint32_t num_batches,
+                                  std::uint64_t max_hot);
+
+/// One-time hot-partition load accounting.
+struct HotPrefetchStats {
+  std::uint64_t reads = 0;  ///< coalesced SSD requests issued
+  std::uint64_t rows = 0;   ///< feature rows loaded
+  std::uint64_t bytes = 0;  ///< bytes read (sector-aligned covering ranges)
+};
+
+/// Pins `hot_nodes` into `fb`, reads their feature rows from the SSD once
+/// (coalesced through plan_segments, direct I/O) and seals the partition.
+/// Transient read errors retry per segment; an unrecoverable error throws
+/// std::runtime_error (the buffer is then unusable for the hotness policy —
+/// callers treat it as a startup failure, not a degraded mode).
+HotPrefetchStats prefetch_hot_rows(FeatureBuffer& fb,
+                                   const std::vector<NodeId>& hot_nodes,
+                                   const Dataset& dataset, SsdDevice& ssd,
+                                   const CoalesceConfig& coalesce,
+                                   Telemetry* telemetry = nullptr);
+
+}  // namespace gnndrive

@@ -33,6 +33,7 @@ constexpr std::uint32_t kSecMeta = 1;
 constexpr std::uint32_t kSecParams = 2;
 constexpr std::uint32_t kSecAdam = 3;
 constexpr std::uint32_t kSecRng = 4;
+constexpr std::uint32_t kSecHotSet = 5;  ///< pinned hot-partition node ids
 
 struct FileHeader {
   char magic[8];
@@ -263,6 +264,14 @@ bool parse_checkpoint(const std::vector<std::uint8_t>& img,
         }
         break;
       }
+      case kSecHotSet: {
+        const auto count = pr.read<std::uint32_t>();
+        out.cursor.hot_set.reserve(count);
+        for (std::uint32_t i = 0; i < count && pr.ok; ++i) {
+          out.cursor.hot_set.push_back(pr.read<NodeId>());
+        }
+        break;
+      }
       default:
         break;  // unknown section: forward-compatible skip (CRC verified)
     }
@@ -435,21 +444,26 @@ std::uint64_t CheckpointManager::write(const TrainCursor& cursor,
     for (std::uint64_t word : s.state) append_pod(rsec, word);
   }
 
+  std::vector<std::uint8_t> hsec;
+  append_pod(hsec, static_cast<std::uint32_t>(cursor.hot_set.size()));
+  for (NodeId v : cursor.hot_set) append_pod(hsec, v);
+
   FileHeader fh{};
   std::memcpy(fh.magic, kFileMagic, sizeof(kFileMagic));
   fh.version = kFormatVersion;
-  fh.section_count = 4;
+  fh.section_count = 5;
   fh.generation = gen;
   fh.header_crc = header_crc_of(fh);
 
   std::vector<std::uint8_t> img;
   img.reserve(sizeof(fh) + meta.size() + psec.size() + asec.size() +
-              rsec.size() + 4 * sizeof(SectionHeader));
+              rsec.size() + hsec.size() + 5 * sizeof(SectionHeader));
   append_pod(img, fh);
   append_section(img, kSecMeta, meta);
   append_section(img, kSecParams, psec);
   append_section(img, kSecAdam, asec);
   append_section(img, kSecRng, rsec);
+  append_section(img, kSecHotSet, hsec);
 
   // Atomic protocol: temp -> fsync -> rename -> fsync(dir), then the same
   // for the manifest, then retention. CrashInjector fires between phases.

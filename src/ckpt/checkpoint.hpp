@@ -143,6 +143,10 @@ struct TrainCursor {
   std::uint64_t trained_batches = 0;  ///< lifetime trained-batch count
   ModelFingerprint fingerprint;
   std::vector<RngStream> rng_streams;
+  /// Pinned hot-partition node set (cache.policy = kHotness): resume adopts
+  /// it and skips re-profiling. Empty under the LRU policy; checkpoints
+  /// written before this section existed parse as empty (skipped section).
+  std::vector<NodeId> hot_set;
 };
 
 class CheckpointManager {

@@ -114,10 +114,49 @@ SegmentPlan plan_segments(const std::vector<std::uint32_t>& load_idx,
 
 void triage_batch(FeatureBuffer& fb, SampledBatch& batch,
                   std::vector<std::uint32_t>& wait_idx,
-                  std::vector<std::uint32_t>& load_idx) {
+                  std::vector<std::uint32_t>& load_idx, FbClient client) {
   const std::size_t n = batch.nodes.size();
+  if (fb.hot_sealed()) {
+    // Hot fast path: pinned nodes resolve lock-free through the sealed
+    // hot map — no slot allocation, no reference, no buffer lock. Only the
+    // cold residue takes the batched lock below.
+    std::vector<NodeId> cold_nodes;
+    std::vector<std::uint32_t> cold_pos;
+    cold_nodes.reserve(n);
+    cold_pos.reserve(n);
+    std::uint64_t hot = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const SlotId slot = fb.hot_slot(batch.nodes[i]);
+      if (slot != kNoSlot) {
+        batch.alias[i] = slot;
+        ++hot;
+      } else {
+        cold_nodes.push_back(batch.nodes[i]);
+        cold_pos.push_back(i);
+      }
+    }
+    fb.record_hot_hits(hot, client);
+    std::vector<FeatureBuffer::CheckResult> results(cold_nodes.size());
+    fb.check_and_ref_batch(cold_nodes.data(), cold_nodes.size(),
+                           results.data(), client);
+    for (std::uint32_t c = 0; c < cold_nodes.size(); ++c) {
+      const std::uint32_t i = cold_pos[c];
+      switch (results[c].status) {
+        case FeatureBuffer::CheckStatus::kReady:
+          batch.alias[i] = results[c].slot;
+          break;
+        case FeatureBuffer::CheckStatus::kInFlight:
+          wait_idx.push_back(i);
+          break;
+        case FeatureBuffer::CheckStatus::kMustLoad:
+          load_idx.push_back(i);
+          break;
+      }
+    }
+    return;
+  }
   std::vector<FeatureBuffer::CheckResult> results(n);
-  fb.check_and_ref_batch(batch.nodes.data(), n, results.data());
+  fb.check_and_ref_batch(batch.nodes.data(), n, results.data(), client);
   for (std::uint32_t i = 0; i < n; ++i) {
     switch (results[i].status) {
       case FeatureBuffer::CheckStatus::kReady:

@@ -154,10 +154,14 @@ struct ExtractTrace {
 
 /// Algorithm 1 pass 1 for a whole batch under one buffer-lock acquisition:
 /// ready nodes alias immediately, in-flight nodes join `wait_idx`, absent
-/// nodes join `load_idx`. Reference counts are taken for every node.
+/// nodes join `load_idx`. Reference counts are taken for every node. When a
+/// sealed hot partition exists, pinned nodes resolve lock-free (no slot
+/// allocation, no reference) before the cold residue is triaged under the
+/// lock; `client` attributes the lookups (fb.train.* / fb.serve.*).
 void triage_batch(FeatureBuffer& fb, SampledBatch& batch,
                   std::vector<std::uint32_t>& wait_idx,
-                  std::vector<std::uint32_t>& load_idx);
+                  std::vector<std::uint32_t>& load_idx,
+                  FbClient client = FbClient::kTrain);
 
 /// Algorithm 1 pass 2 over `load_idx`: plan segments, allocate slots
 /// (batched, one lock take per segment), submit asynchronous reads, scatter

@@ -1,19 +1,41 @@
 #include "core/feature_buffer.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "obs/metrics.hpp"
 #include "util/telemetry.hpp"
 
 namespace gnndrive {
 
+namespace {
+/// Construction-time config validation: a throwing rejection here turns what
+/// used to be a late GD_CHECK abort on the first lookup into a recoverable
+/// error at the configuration boundary.
+void validate(const FeatureBufferConfig& config) {
+  if (config.num_slots == 0) {
+    throw std::invalid_argument("FeatureBuffer: num_slots must be > 0");
+  }
+  if (config.num_slots > IndexedLruList::kNil) {
+    throw std::invalid_argument(
+        "FeatureBuffer: num_slots exceeds the LRU index space (" +
+        std::to_string(config.num_slots) + " > " +
+        std::to_string(IndexedLruList::kNil) + ")");
+  }
+  if (config.row_floats == 0) {
+    throw std::invalid_argument("FeatureBuffer: row_floats must be > 0");
+  }
+}
+}  // namespace
+
 FeatureBuffer::FeatureBuffer(const FeatureBufferConfig& config,
                              NodeId num_nodes, Telemetry* telemetry)
-    : num_slots_(config.num_slots),
+    : num_slots_((validate(config), config.num_slots)),
       row_floats_(config.row_floats),
       map_(num_nodes),
       reverse_(config.num_slots, kInvalidNode),
       standby_(config.num_slots),
       storage_(config.num_slots * config.row_floats, 0.0f) {
-  GD_CHECK(num_slots_ > 0 && num_slots_ <= IndexedLruList::kNil);
   // All slots start free: populate the standby list in slot order.
   for (std::uint64_t s = 0; s < num_slots_; ++s) {
     standby_.push_mru(static_cast<std::uint32_t>(s));
@@ -27,8 +49,16 @@ FeatureBuffer::FeatureBuffer(const FeatureBufferConfig& config,
     m_failed_ = &reg.counter("fb.failed_loads");
     m_evictions_ = &reg.counter("fb.evictions");
     m_batch_locks_ = &reg.counter("fb.batch_lock_acquisitions");
+    m_hot_hits_ = &reg.counter("fb.hot.hits");
     m_standby_ = &reg.gauge("fb.standby");
     m_standby_->set(static_cast<std::int64_t>(standby_.size()));
+    m_hot_slots_ = &reg.gauge("fb.hot.slots");
+    m_cold_slots_ = &reg.gauge("fb.cold.slots");
+    m_cold_slots_->set(static_cast<std::int64_t>(num_slots_));
+    m_client_lookups_[0] = &reg.counter("fb.train.lookups");
+    m_client_hits_[0] = &reg.counter("fb.train.hits");
+    m_client_lookups_[1] = &reg.counter("fb.serve.lookups");
+    m_client_hits_[1] = &reg.counter("fb.serve.hits");
   }
 }
 
@@ -38,25 +68,42 @@ void FeatureBuffer::publish_standby_locked() {
   }
 }
 
-FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node) {
+FeatureBuffer::CheckResult FeatureBuffer::check_and_ref(NodeId node,
+                                                        FbClient client) {
   std::lock_guard lock(mu_);
-  return check_and_ref_locked(node);
+  return check_and_ref_locked(node, client);
 }
 
 void FeatureBuffer::check_and_ref_batch(const NodeId* nodes, std::size_t n,
-                                        CheckResult* out) {
+                                        CheckResult* out, FbClient client) {
   std::lock_guard lock(mu_);
   ++stats_.batch_lock_acquisitions;
   if (m_batch_locks_ != nullptr) m_batch_locks_->add();
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = check_and_ref_locked(nodes[i]);
+    out[i] = check_and_ref_locked(nodes[i], client);
   }
 }
 
-FeatureBuffer::CheckResult FeatureBuffer::check_and_ref_locked(NodeId node) {
+FeatureBuffer::CheckResult FeatureBuffer::check_and_ref_locked(
+    NodeId node, FbClient client) {
   GD_DCHECK_MSG(node < map_.size(), "check_and_ref on out-of-range node");
+  const auto ci = static_cast<std::size_t>(client);
   Entry& e = map_[node];
+  if (e.pinned) {
+    // Hot-partition member: its slot can never be reclaimed, so no
+    // reference is taken (release() on it is a symmetric no-op). Callers
+    // that pre-filter through hot_slot() never reach here; this path keeps
+    // single-node users (tests, baselines) correct. All hot hits live in
+    // the lock-free atomics so stats() has a single source to merge.
+    GD_CHECK_MSG(e.valid, "pinned entry not valid (prefetch incomplete)");
+    hot_hits_[ci].fetch_add(1, std::memory_order_relaxed);
+    if (m_hot_hits_ != nullptr) m_hot_hits_->add();
+    if (m_client_lookups_[ci] != nullptr) m_client_lookups_[ci]->add();
+    if (m_client_hits_[ci] != nullptr) m_client_hits_[ci]->add();
+    return {CheckStatus::kReady, e.slot};
+  }
   CheckResult result;
+  bool hit = false;
   if (e.valid) {
     GD_CHECK_MSG(e.slot != kNoSlot, "valid entry without slot");
     if (e.ref_count == 0) {
@@ -66,20 +113,27 @@ FeatureBuffer::CheckResult FeatureBuffer::check_and_ref_locked(NodeId node) {
       publish_standby_locked();
     }
     ++stats_.reuse_hits;
+    ++by_client_[ci].reuse_hits;
     if (m_reuse_hits_ != nullptr) m_reuse_hits_->add();
     result = {CheckStatus::kReady, e.slot};
+    hit = true;
   } else if (e.ref_count > 0) {
     // Another extractor is loading this node right now (or has marked it
     // failed and its references are still draining — waiters then see the
     // failure from wait_ready and fail their own batch).
     ++stats_.wait_hits;
+    ++by_client_[ci].wait_hits;
     if (m_wait_hits_ != nullptr) m_wait_hits_->add();
     result = {CheckStatus::kInFlight, e.slot};
+    hit = true;
   } else {
     ++stats_.loads;
+    ++by_client_[ci].loads;
     if (m_loads_ != nullptr) m_loads_->add();
     result = {CheckStatus::kMustLoad, kNoSlot};
   }
+  if (m_client_lookups_[ci] != nullptr) m_client_lookups_[ci]->add();
+  if (hit && m_client_hits_[ci] != nullptr) m_client_hits_[ci]->add();
   ++e.ref_count;
   return result;
 }
@@ -167,6 +221,9 @@ std::optional<SlotId> FeatureBuffer::wait_ready(NodeId node,
 bool FeatureBuffer::retire_locked(NodeId node) {
   GD_DCHECK_MSG(node < map_.size(), "release on out-of-range node");
   Entry& e = map_[node];
+  // Pinned hot nodes hold no references (check_and_ref never bumps them),
+  // so a symmetric release is a no-op — their slots never rejoin standby.
+  if (e.pinned) return false;
   // Refcount underflow means a double release (a serve- or release-path
   // bug); failing loudly here beats silently pushing a live slot onto the
   // standby list and corrupting whoever reuses it.
@@ -215,6 +272,77 @@ void FeatureBuffer::release(const std::vector<NodeId>& nodes) {
   if (freed) slot_available_.notify_all();
 }
 
+std::vector<SlotId> FeatureBuffer::pin_hot(
+    const std::vector<NodeId>& hot_nodes) {
+  std::lock_guard lock(mu_);
+  if (hot_nodes.size() >= num_slots_) {
+    throw std::invalid_argument(
+        "pin_hot: hot set (" + std::to_string(hot_nodes.size()) +
+        " nodes) must leave at least one cold slot of " +
+        std::to_string(num_slots_));
+  }
+  if (standby_.size() != num_slots_ || hot_count_ != 0) {
+    throw std::logic_error(
+        "pin_hot requires an idle feature buffer (all slots on standby, no "
+        "prior hot partition)");
+  }
+  // Validate the whole set before touching any state: a rejected pin must
+  // leave the buffer exactly as it found it (all slots on standby).
+  std::vector<bool> seen(map_.size(), false);
+  for (NodeId node : hot_nodes) {
+    if (node >= map_.size() || seen[node]) {
+      throw std::invalid_argument(
+          "pin_hot: hot set contains an out-of-range or duplicate node (" +
+          std::to_string(node) + ")");
+    }
+    seen[node] = true;
+  }
+  hot_map_.assign(map_.size(), kNoSlot);
+  std::vector<SlotId> out;
+  out.reserve(hot_nodes.size());
+  for (NodeId node : hot_nodes) {
+    const std::uint32_t slot = standby_.pop_lru();
+    reverse_[slot] = node;
+    Entry& e = map_[node];
+    e.slot = static_cast<SlotId>(slot);
+    e.pinned = true;
+    hot_map_[node] = e.slot;
+    out.push_back(e.slot);
+  }
+  hot_count_ = hot_nodes.size();
+  publish_standby_locked();
+  if (m_hot_slots_ != nullptr) {
+    m_hot_slots_->set(static_cast<std::int64_t>(hot_count_));
+  }
+  if (m_cold_slots_ != nullptr) {
+    m_cold_slots_->set(static_cast<std::int64_t>(num_slots_ - hot_count_));
+  }
+  return out;
+}
+
+void FeatureBuffer::seal_hot() {
+  {
+    std::lock_guard lock(mu_);
+    for (NodeId node = 0; node < hot_map_.size(); ++node) {
+      if (hot_map_[node] == kNoSlot) continue;
+      GD_CHECK_MSG(map_[node].valid, "seal_hot before every pinned node "
+                                     "was loaded and mark_valid()ed");
+    }
+  }
+  // Release-store pairs with the acquire-load in hot_slot(): the fully
+  // written hot_map_ is visible to any thread that observes sealed==true.
+  hot_sealed_.store(true, std::memory_order_release);
+}
+
+void FeatureBuffer::record_hot_hits(std::uint64_t n, FbClient client) {
+  if (n == 0) return;
+  const auto ci = static_cast<std::size_t>(client);
+  hot_hits_[ci].fetch_add(n, std::memory_order_relaxed);
+  if (m_hot_hits_ != nullptr) m_hot_hits_->add(n);
+  if (m_client_lookups_[ci] != nullptr) m_client_lookups_[ci]->add(n);
+  if (m_client_hits_[ci] != nullptr) m_client_hits_[ci]->add(n);
+}
+
 FeatureBuffer::Entry FeatureBuffer::entry(NodeId node) const {
   std::lock_guard lock(mu_);
   return map_[node];
@@ -232,7 +360,19 @@ std::size_t FeatureBuffer::standby_size() const {
 
 FeatureBufferStats FeatureBuffer::stats() const {
   std::lock_guard lock(mu_);
-  return stats_;
+  FeatureBufferStats s = stats_;
+  for (std::size_t ci = 0; ci < kNumFbClients; ++ci) {
+    s.hot_hits += hot_hits_[ci].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+FeatureBufferStats FeatureBuffer::stats(FbClient client) const {
+  std::lock_guard lock(mu_);
+  const auto ci = static_cast<std::size_t>(client);
+  FeatureBufferStats s = by_client_[ci];
+  s.hot_hits = hot_hits_[ci].load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace gnndrive

@@ -17,12 +17,19 @@
 // mark_valid() for the to-load set, and finally wait_valid() on wait-listed
 // nodes. The releaser calls release() after training.
 //
+// Hot partition (src/cache). A hotness-aware policy may pin the top-K nodes
+// by estimated access frequency into a dedicated slot region via pin_hot():
+// pinned slots never enter the standby list, carry no reference counts, and
+// once seal_hot() publishes them they can be resolved lock-free through
+// hot_slot(). The cold remainder keeps the LRU standby discipline below.
+//
 // Thread-safe; allocate_slot() blocks when the standby list is empty until a
-// release arrives. Deadlock freedom requires num_slots >= Ne x Mb (number of
-// extractors x max nodes per mini-batch) — enforced by the pipeline and
-// stress-tested.
+// release arrives. Deadlock freedom requires cold_slots >= Ne x Mb (number
+// of extractors x max nodes per mini-batch, counting only the unpinned
+// region) — enforced by the pipeline and stress-tested.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -37,12 +44,20 @@ class Counter;
 class Gauge;
 class Telemetry;
 
+/// Which workload a feature-buffer lookup is attributed to. Training and
+/// serving share one buffer; per-client counters let a cache win be traced
+/// to the workload that benefits (docs/observability.md, fb.train.* /
+/// fb.serve.*).
+enum class FbClient : std::uint8_t { kTrain = 0, kServe = 1 };
+inline constexpr std::size_t kNumFbClients = 2;
+
 struct FeatureBufferConfig {
   std::uint64_t num_slots = 0;
   std::uint32_t row_floats = 0;  ///< floats per slot (feature dimension)
 };
 
 struct FeatureBufferStats {
+  std::uint64_t hot_hits = 0;      ///< node resolved from the pinned region
   std::uint64_t reuse_hits = 0;    ///< node found valid in the buffer
   std::uint64_t wait_hits = 0;     ///< node being loaded by another thread
   std::uint64_t loads = 0;         ///< nodes that required an SSD load
@@ -54,12 +69,23 @@ struct FeatureBufferStats {
   /// eliminated.
   std::uint64_t batch_lock_acquisitions = 0;
 
-  /// Total check_and_ref triages observed.
-  std::uint64_t lookups() const { return reuse_hits + wait_hits + loads; }
-  /// (reuse + wait) / lookups, guarded against the zero-lookup case (a
-  /// buffer that never served a batch reports 0, not NaN).
+  /// Total triages observed (lock-free hot resolutions included).
+  std::uint64_t lookups() const {
+    return hot_hits + reuse_hits + wait_hits + loads;
+  }
+  /// (hot + reuse + wait) / lookups, guarded against the zero-lookup case
+  /// (a buffer that never served a batch reports 0, not NaN).
   double hit_rate() const {
     const std::uint64_t total = lookups();
+    return total > 0 ? static_cast<double>(hot_hits + reuse_hits + wait_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+  /// Hit rate of the standby (cold) region alone — what the LRU list itself
+  /// delivers once hot hits are taken out. The A/B bench compares this
+  /// across policies.
+  double standby_hit_rate() const {
+    const std::uint64_t total = reuse_hits + wait_hits + loads;
     return total > 0 ? static_cast<double>(reuse_hits + wait_hits) /
                            static_cast<double>(total)
                      : 0.0;
@@ -70,6 +96,9 @@ class FeatureBuffer : NonCopyable {
  public:
   /// `telemetry` (optional) publishes the hit/miss/eviction counters and the
   /// standby-list gauge into its metrics registry under "fb.*" names.
+  /// Throws std::invalid_argument when the config is unusable (zero slots,
+  /// more slots than the LRU index space, zero-width rows) — construction
+  /// is the validation point, not the first hot-path GD_CHECK.
   FeatureBuffer(const FeatureBufferConfig& config, NodeId num_nodes,
                 Telemetry* telemetry = nullptr);
 
@@ -85,7 +114,10 @@ class FeatureBuffer : NonCopyable {
 
   /// Pass 1 of Algorithm 1 for one node: triages and increments the node's
   /// reference count (the caller now holds a reference regardless of status).
-  CheckResult check_and_ref(NodeId node);
+  /// Pinned hot nodes short-circuit to kReady without a reference bump
+  /// (their slots can never be reclaimed, so no reference is needed; a
+  /// symmetric release() on them is a no-op).
+  CheckResult check_and_ref(NodeId node, FbClient client = FbClient::kTrain);
 
   /// Pass 1 for a whole batch under a single mutex acquisition. Triage
   /// results are written to `out[0..n)` and are identical to n sequential
@@ -93,7 +125,8 @@ class FeatureBuffer : NonCopyable {
   /// triage like repeated calls would: first occurrence decides, later
   /// duplicates see kInFlight/kReady).
   void check_and_ref_batch(const NodeId* nodes, std::size_t n,
-                           CheckResult* out);
+                           CheckResult* out,
+                           FbClient client = FbClient::kTrain);
 
   /// Pass 2: assigns the LRU standby slot to `node` (which must be in the
   /// kMustLoad state), lazily invalidating the slot's previous occupant.
@@ -144,17 +177,51 @@ class FeatureBuffer : NonCopyable {
   std::uint32_t row_floats() const { return row_floats_; }
   std::uint64_t storage_bytes() const { return storage_.size() * 4; }
 
+  // -- Hot partition (src/cache hotness policy) -----------------------------
+  /// Claims one slot per node and pins it: the slot leaves the standby list
+  /// permanently and the node maps to it for the buffer's lifetime. Must be
+  /// called on an idle buffer (every slot still on standby, no prior pin);
+  /// throws std::invalid_argument on an oversized or duplicate-bearing hot
+  /// set and std::logic_error when the buffer is not idle. Returns the slot
+  /// of hot_nodes[i] at out[i]. The caller then loads each row and
+  /// mark_valid()s it; seal_hot() publishes the partition.
+  std::vector<SlotId> pin_hot(const std::vector<NodeId>& hot_nodes);
+  /// Publishes the pinned partition for lock-free hot_slot() resolution.
+  /// Every pinned node must have been mark_valid()ed first.
+  void seal_hot();
+  bool hot_sealed() const {
+    return hot_sealed_.load(std::memory_order_acquire);
+  }
+  /// Lock-free: the node's pinned slot, or kNoSlot when the node is not hot
+  /// (or the partition is not sealed yet). Safe from any thread after
+  /// seal_hot() — pinned mappings never change.
+  SlotId hot_slot(NodeId node) const {
+    if (!hot_sealed_.load(std::memory_order_acquire)) return kNoSlot;
+    return hot_map_[node];
+  }
+  /// Accounting for hot resolutions done outside the mutex (the extractor
+  /// fast path batches them per mini-batch).
+  void record_hot_hits(std::uint64_t n, FbClient client = FbClient::kTrain);
+  std::uint64_t hot_slots() const { return hot_count_; }
+  std::uint64_t cold_slots() const { return num_slots_ - hot_count_; }
+
   // -- Introspection (tests, Fig. 6 walk-through) ---------------------------
   struct Entry {
     SlotId slot = kNoSlot;
     std::uint32_t ref_count = 0;
     bool valid = false;
     bool failed = false;  ///< load permanently failed; resets at refcount 0
+    bool pinned = false;  ///< hot-partition member; exempt from eviction
   };
   Entry entry(NodeId node) const;
   NodeId reverse(SlotId slot) const;  ///< kInvalidNode when slot is empty
   std::size_t standby_size() const;
+  /// Merged view across both clients.
   FeatureBufferStats stats() const;
+  /// Triage counters attributed to one client (hot/reuse/wait/loads only;
+  /// the shared fields — slot_waits, failed_loads, lock counts — are
+  /// buffer-global and reported by the merged stats()).
+  FeatureBufferStats stats(FbClient client) const;
 
   static constexpr NodeId kInvalidNode = 0xffffffffu;
 
@@ -163,7 +230,7 @@ class FeatureBuffer : NonCopyable {
   /// Called with mu_ held.
   bool retire_locked(NodeId node);
   /// check_and_ref body; called with mu_ held.
-  CheckResult check_and_ref_locked(NodeId node);
+  CheckResult check_and_ref_locked(NodeId node, FbClient client);
   /// allocate_slot body; may release `lock` to wait for a standby slot.
   SlotId allocate_slot_locked(std::unique_lock<std::mutex>& lock, NodeId node);
 
@@ -176,9 +243,20 @@ class FeatureBuffer : NonCopyable {
 
   std::vector<Entry> map_;            ///< mapping table, per node
   std::vector<NodeId> reverse_;       ///< per slot
-  IndexedLruList standby_;            ///< slots with refcount == 0
+  IndexedLruList standby_;            ///< unpinned slots with refcount == 0
   std::vector<float> storage_;
   FeatureBufferStats stats_;
+  /// Per-client triage counters (hot/reuse/wait/loads), guarded by mu_
+  /// except hot_hits which is mirrored from the lock-free atomics below.
+  FeatureBufferStats by_client_[kNumFbClients];
+
+  // Hot partition. hot_map_ is written only before the release-store of
+  // hot_sealed_; readers pair it with an acquire-load in hot_slot(), so the
+  // mapping is immutable once visible and needs no lock.
+  std::vector<SlotId> hot_map_;  ///< node -> pinned slot (kNoSlot when cold)
+  std::uint64_t hot_count_ = 0;
+  std::atomic<bool> hot_sealed_{false};
+  std::atomic<std::uint64_t> hot_hits_[kNumFbClients] = {};
 
   // Observability (all null without telemetry; see docs/observability.md).
   void publish_standby_locked();
@@ -189,7 +267,13 @@ class FeatureBuffer : NonCopyable {
   Counter* m_failed_ = nullptr;       ///< fb.failed_loads
   Counter* m_evictions_ = nullptr;    ///< fb.evictions (slot re-assigned)
   Counter* m_batch_locks_ = nullptr;  ///< fb.batch_lock_acquisitions
+  Counter* m_hot_hits_ = nullptr;     ///< fb.hot.hits
   Gauge* m_standby_ = nullptr;        ///< fb.standby (list length)
+  Gauge* m_hot_slots_ = nullptr;      ///< fb.hot.slots (pinned region size)
+  Gauge* m_cold_slots_ = nullptr;     ///< fb.cold.slots (evictable region)
+  /// fb.train.lookups / fb.train.hits / fb.serve.lookups / fb.serve.hits
+  Counter* m_client_lookups_[kNumFbClients] = {};
+  Counter* m_client_hits_[kNumFbClients] = {};
 };
 
 }  // namespace gnndrive

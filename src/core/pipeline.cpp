@@ -208,12 +208,33 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
   feature_buffer_ =
       std::make_unique<FeatureBuffer>(fb, ds.spec().num_nodes, ctx_.telemetry);
 
+  // Cache-policy validation (src/cache). The hot budget is fixed here so a
+  // partition that would violate the cold-region deadlock-freedom invariant
+  // (cold_slots >= Ne x Mb) is rejected at construction, not discovered as
+  // a wedged extractor mid-epoch.
+  validate_cache_config(config_.cache);
+  if (config_.cache.policy == CachePolicy::kHotness) {
+    hot_target_ = static_cast<std::uint64_t>(
+        config_.cache.hot_fraction * static_cast<double>(feature_slots_));
+    if (feature_slots_ - hot_target_ < reserve) {
+      throw std::invalid_argument(
+          "cache.hot_fraction=" + std::to_string(config_.cache.hot_fraction) +
+          " leaves " + std::to_string(feature_slots_ - hot_target_) +
+          " cold slots of " + std::to_string(feature_slots_) +
+          ", below the Ne x Mb deadlock-freedom reserve of " +
+          std::to_string(reserve));
+    }
+  }
+
   GD_LOG_INFO(
-      "GNNDrive(%s): Ne=%u Mb=%llu slots=%llu staging=%.1f MiB",
+      "GNNDrive(%s): Ne=%u Mb=%llu slots=%llu staging=%.1f MiB policy=%s "
+      "hot_target=%llu",
       config_.cpu_training ? "cpu" : "gpu", num_extractors_,
       static_cast<unsigned long long>(max_batch_nodes_),
       static_cast<unsigned long long>(feature_slots_),
-      static_cast<double>(staging_bytes) / (1 << 20));
+      static_cast<double>(staging_bytes) / (1 << 20),
+      cache_policy_name(config_.cache.policy),
+      static_cast<unsigned long long>(hot_target_));
 
   // Checkpoint/recovery (src/ckpt): the training RNG stream is seeded from
   // the run seed so a fresh instance and a restored one agree by
@@ -226,6 +247,46 @@ GnnDrive::GnnDrive(const RunContext& ctx, GnnDriveConfig config)
 }
 
 GnnDrive::~GnnDrive() = default;
+
+void GnnDrive::ensure_hot_cache(const std::vector<NodeId>* from_checkpoint) {
+  if (config_.cache.policy != CachePolicy::kHotness || hot_ready_) return;
+  if (hot_target_ == 0) {
+    hot_ready_ = true;  // hot_fraction rounded to zero slots: plain LRU
+    return;
+  }
+  const Dataset& ds = *ctx_.dataset;
+  if (from_checkpoint != nullptr && !from_checkpoint->empty() &&
+      from_checkpoint->size() <= hot_target_) {
+    // Resume path: adopt the checkpointed hot set instead of re-profiling —
+    // the partition is part of the training run's identity and re-deriving
+    // it would only repeat the pre-sampling cost.
+    hot_nodes_ = *from_checkpoint;
+    hot_source_ = HotSetSource::kCheckpoint;
+    GD_LOG_INFO("hot-cache: adopted %zu pinned nodes from checkpoint",
+                hot_nodes_.size());
+  } else {
+    const PresampleResult prof = presample_hot_set(
+        ds, *ctx_.page_cache, config_.common.sampler,
+        config_.common.batch_seeds, config_.common.run_seed,
+        config_.cache.presample_batches, hot_target_);
+    hot_nodes_ = prof.hot_nodes;
+    hot_source_ = HotSetSource::kProfiled;
+    GD_LOG_INFO(
+        "hot-cache: profiled %u warm-up batches, pinning %zu/%llu slots "
+        "(profile coverage %.1f%%)",
+        prof.batches_profiled, hot_nodes_.size(),
+        static_cast<unsigned long long>(feature_slots_),
+        prof.coverage() * 100.0);
+  }
+  const HotPrefetchStats pf =
+      prefetch_hot_rows(*feature_buffer_, hot_nodes_, ds, *ctx_.ssd,
+                        config_.coalesce, ctx_.telemetry);
+  GD_LOG_INFO("hot-cache: prefetched %llu rows in %llu reads (%.1f MiB)",
+              static_cast<unsigned long long>(pf.rows),
+              static_cast<unsigned long long>(pf.reads),
+              static_cast<double>(pf.bytes) / (1 << 20));
+  hot_ready_ = true;
+}
 
 bool GnnDrive::extract_batch(SampledBatch& batch, ExtractorState& state) {
   FeatureBuffer& fb = *feature_buffer_;
@@ -482,6 +543,7 @@ std::uint64_t GnnDrive::write_checkpoint(std::uint64_t epoch,
   cursor.trained_batches = total_trained_;
   cursor.fingerprint = fingerprint();
   cursor.rng_streams.push_back(RngStream{0, train_rng_.state()});
+  cursor.hot_set = hot_nodes_;
   return ckpt_mgr_->write(cursor, *model_, adam_);
 }
 
@@ -505,6 +567,9 @@ std::optional<GnnDrive::ResumeInfo> GnnDrive::resume() {
   has_resume_ = true;
   resume_epoch_ = cur_epoch_;
   resume_cursor_ = loaded->cursor.next_batch;
+  // Materialize the hot partition from the checkpoint (skips re-profiling);
+  // falls back to a fresh profile when the checkpoint predates the policy.
+  ensure_hot_cache(&loaded->cursor.hot_set);
   ResumeInfo info;
   info.epoch = cur_epoch_;
   info.next_batch = resume_cursor_;
@@ -515,6 +580,10 @@ std::optional<GnnDrive::ResumeInfo> GnnDrive::resume() {
 
 EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   const Dataset& ds = *ctx_.dataset;
+  // Hotness policy: profile + prefetch + pin before the first batch (no-op
+  // for kLru or once the partition exists). Runs outside the epoch timer's
+  // steady state on purpose — it is a one-time startup cost.
+  ensure_hot_cache();
 
   // Data-parallel segment of the training set (whole set by default).
   std::vector<NodeId> train;
@@ -930,6 +999,7 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   stats.obs.train_q_max = train_q.max_size();
   stats.obs.release_q_max = release_q.max_size();
   const FeatureBufferStats fb_after = feature_buffer_->stats();
+  stats.obs.fb_hot_hits = fb_after.hot_hits - fb_before.hot_hits;
   stats.obs.fb_reuse_hits = fb_after.reuse_hits - fb_before.reuse_hits;
   stats.obs.fb_wait_hits = fb_after.wait_hits - fb_before.wait_hits;
   stats.obs.fb_loads = fb_after.loads - fb_before.loads;

@@ -34,6 +34,7 @@
 #include <optional>
 
 #include "aio/io_ring.hpp"
+#include "cache/policy.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "core/extract.hpp"
 #include "core/feature_buffer.hpp"
@@ -72,6 +73,10 @@ struct GnnDriveConfig {
   /// Sorted-run read merging for the extract stage (see core/extract.hpp);
   /// `coalesce.enabled = false` is the per-node-read A/B baseline.
   CoalesceConfig coalesce;
+  /// Feature-cache policy (src/cache): `cache.policy = kHotness` profiles
+  /// access frequencies with a pre-sampling pass and pins the hot set;
+  /// the default kLru is the paper's pure standby-list behaviour.
+  CachePolicyConfig cache;
   std::uint32_t num_samplers = 4;
   std::uint32_t num_extractors = 4;  ///< upper bound; may auto-shrink
   std::uint32_t extract_queue_cap = 6;
@@ -129,6 +134,22 @@ class GnnDrive final : public TrainSystem {
   const GnnDriveConfig& config() const { return config_; }
   std::uint32_t effective_extractors() const { return num_extractors_; }
   std::uint64_t max_batch_nodes() const { return max_batch_nodes_; }
+
+  // -- Hotness-aware cache policy (src/cache, docs/internals.md) ------------
+
+  /// Where the pinned hot set came from (kNone under policy=lru or before
+  /// the first epoch/serve attach materializes it).
+  enum class HotSetSource { kNone, kProfiled, kCheckpoint };
+
+  /// Idempotent, lazy materialization of the hot partition (no-op unless
+  /// cache.policy == kHotness). Profiles access frequencies with the
+  /// pre-sampling pass — or adopts `from_checkpoint` when it carries a
+  /// usable hot set, skipping the re-profiling cost — then prefetches and
+  /// pins the hot rows. Called automatically by run_epoch(), resume() and
+  /// serve attachment; safe to call explicitly for eager warm-up.
+  void ensure_hot_cache(const std::vector<NodeId>* from_checkpoint = nullptr);
+  const std::vector<NodeId>& hot_nodes() const { return hot_nodes_; }
+  HotSetSource hot_source() const { return hot_source_; }
 
   /// Multi-GPU support: external replicas share one gradient-sync hook
   /// called after each local backward pass (nullptr = single device).
@@ -210,6 +231,12 @@ class GnnDrive final : public TrainSystem {
   std::uint32_t staging_row_bytes_ = 0;  ///< per staging slot (>= a segment)
   std::uint32_t staging_rows_ = 0;       ///< staging slots per extractor
   std::uint64_t feature_slots_ = 0;
+
+  // Hotness policy state (empty/kNone under policy=lru).
+  std::uint64_t hot_target_ = 0;  ///< slots budgeted for the hot partition
+  bool hot_ready_ = false;        ///< partition pinned, sealed and usable
+  std::vector<NodeId> hot_nodes_;
+  HotSetSource hot_source_ = HotSetSource::kNone;
 
   PinnedBytes metadata_pin_;
   PinnedBytes staging_pin_;

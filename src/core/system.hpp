@@ -56,6 +56,7 @@ struct EpochObs {
   std::uint64_t extract_q_max = 0;  ///< deepest the extracting queue got
   std::uint64_t train_q_max = 0;
   std::uint64_t release_q_max = 0;
+  std::uint64_t fb_hot_hits = 0;    ///< pinned hot-partition hits this epoch
   std::uint64_t fb_reuse_hits = 0;  ///< feature-buffer reuse hits this epoch
   std::uint64_t fb_wait_hits = 0;   ///< nodes found in-flight this epoch
   std::uint64_t fb_loads = 0;       ///< nodes loaded from SSD this epoch
@@ -67,10 +68,12 @@ struct EpochObs {
                                  static_cast<double>(io_segments)
                            : 0.0;
   }
-  /// (reuse + wait) / (reuse + wait + loads); 0 when no lookups happened.
+  /// (hot + reuse + wait) / (hot + reuse + wait + loads); 0 when no lookups
+  /// happened.
   double fb_hit_rate() const {
-    const double hits =
-        static_cast<double>(fb_reuse_hits) + static_cast<double>(fb_wait_hits);
+    const double hits = static_cast<double>(fb_hot_hits) +
+                        static_cast<double>(fb_reuse_hits) +
+                        static_cast<double>(fb_wait_hits);
     const double total = hits + static_cast<double>(fb_loads);
     return total > 0 ? hits / total : 0.0;
   }
@@ -99,9 +102,10 @@ struct EpochObs {
                   static_cast<unsigned long long>(release_q_max));
     out += line;
     std::snprintf(line, sizeof(line),
-                  "  fbuffer  hit-rate=%.1f%% (reuse=%llu wait=%llu "
+                  "  fbuffer  hit-rate=%.1f%% (hot=%llu reuse=%llu wait=%llu "
                   "loads=%llu)\n",
                   100.0 * fb_hit_rate(),
+                  static_cast<unsigned long long>(fb_hot_hits),
                   static_cast<unsigned long long>(fb_reuse_hits),
                   static_cast<unsigned long long>(fb_wait_hits),
                   static_cast<unsigned long long>(fb_loads));

@@ -80,6 +80,7 @@ Dataset Dataset::build(const DatasetSpec& spec, bool keep_graph) {
   params.num_edges = spec.num_edges;
   params.num_communities = spec.num_classes;
   params.intra_prob = spec.intra_prob;
+  params.skew = spec.skew;
   params.seed = spec.seed;
   CommunityGraph graph = generate_community_graph(params);
 

@@ -44,6 +44,12 @@ struct DatasetSpec {
   std::uint32_t num_classes = 16;
   double train_fraction = 0.01;
   double intra_prob = 0.6;
+  /// Endpoint-sampling skew exponent (CommunityGraphParams::skew): node =
+  /// N * u^skew, so larger values concentrate edges — and therefore sampler
+  /// traffic — on low-id nodes. 1.0 is near-uniform; the generator default
+  /// 2.0 matches real-graph power-law degree tails. Cache-policy benches
+  /// sweep this to control access-frequency skew.
+  double skew = 2.0;
   std::uint64_t seed = 42;
 
   std::uint64_t feature_row_bytes() const { return feature_dim * 4ull; }

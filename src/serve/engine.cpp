@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/trace.hpp"
@@ -22,6 +24,10 @@ ServeConfig resolve_serve_config(ServeConfig config, GnnDrive& host) {
       host.model().config().num_layers) {
     config.sampler = host.config().common.sampler;
   }
+  // Serving shares the host's feature buffer, so the hot partition must be
+  // pinned (and sealed) before the serve pin budget is carved from the cold
+  // region. A no-op under the LRU policy or when already profiled.
+  host.ensure_hot_cache();
   return config;
 }
 
@@ -108,10 +114,18 @@ ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
   config_.workers = std::max(config_.workers, 1u);
   config_.ring_depth = std::max(config_.ring_depth, 1u);
 
-  const std::uint64_t slots = sub_.feature_buffer->num_slots();
-  GD_CHECK_MSG(slots > sub_.reserved_slots,
-               "no feature-buffer headroom beyond the training reserve");
-  pin_budget_ = slots - sub_.reserved_slots;
+  // The serve pin budget comes from the COLD region only: hot-partition
+  // slots are pinned and never pass through allocate_slot, so they cannot
+  // back serve's slot demand. cold_slots == num_slots with the hot cache off.
+  const std::uint64_t cold = sub_.feature_buffer->cold_slots();
+  if (cold <= sub_.reserved_slots) {
+    throw std::invalid_argument(
+        "ServeEngine: no cold feature-buffer headroom beyond the training "
+        "reserve (cold_slots=" + std::to_string(cold) +
+        " reserved=" + std::to_string(sub_.reserved_slots) +
+        "); shrink cache.hot_fraction or grow the buffer");
+  }
+  pin_budget_ = cold - sub_.reserved_slots;
 
   const Dataset& ds = *ctx_.dataset;
   const auto row_bytes =
@@ -191,7 +205,7 @@ ServeEngine::~ServeEngine() {
 
 void ServeEngine::start() {
   GD_CHECK_MSG(!running_, "ServeEngine::start called twice");
-  fb_at_start_ = sub_.feature_buffer->stats();
+  fb_at_start_ = sub_.feature_buffer->stats(FbClient::kServe);
   running_ = true;
   for (std::uint32_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this, w] {
@@ -412,7 +426,16 @@ void ServeEngine::process_batch(std::vector<PendingRequest>&& batch,
 
   bool served = false;
   std::vector<std::int32_t> pred(active.size(), -1);
-  const std::uint64_t need = sb.num_nodes();
+  // Hot-partition nodes resolve to pinned slots without an allocation, so
+  // only the cold residue of the batch draws on the serve pin budget.
+  std::uint64_t need = sb.num_nodes();
+  if (sub_.feature_buffer->hot_sealed()) {
+    std::uint64_t hot = 0;
+    for (NodeId v : sb.nodes) {
+      if (sub_.feature_buffer->hot_slot(v) != kNoSlot) ++hot;
+    }
+    need -= hot;
+  }
   if (need > pin_budget_) {
     // The batch cannot fit the serve share of the buffer even alone;
     // admitting it to check_and_ref could deadlock against training.
@@ -496,7 +519,7 @@ bool ServeEngine::extract_batch(SampledBatch& batch, WorkerState& ws) {
   std::vector<std::uint32_t> load_idx;
   {
     BusyScope busy(ctx_.telemetry);
-    triage_batch(fb, batch, wait_idx, load_idx);
+    triage_batch(fb, batch, wait_idx, load_idx, FbClient::kServe);
   }
 
   // The pin budget guarantees the serve share of the standby list can cover
@@ -565,8 +588,11 @@ ServeReport ServeEngine::report() const {
   fill(r.extract, h_extract_);
   fill(r.infer, h_infer_);
   fill(r.latency, h_latency_);
-  const FeatureBufferStats now = sub_.feature_buffer->stats();
+  // Serve-attributed counters only: training traffic on the shared buffer
+  // must not inflate (or dilute) the serve hit rate.
+  const FeatureBufferStats now = sub_.feature_buffer->stats(FbClient::kServe);
   FeatureBufferStats delta;
+  delta.hot_hits = now.hot_hits - fb_at_start_.hot_hits;
   delta.reuse_hits = now.reuse_hits - fb_at_start_.reuse_hits;
   delta.wait_hits = now.wait_hits - fb_at_start_.wait_hits;
   delta.loads = now.loads - fb_at_start_.loads;

@@ -1,0 +1,162 @@
+// Property/fuzz test: IndexedLruList against a reference std::list model.
+//
+// The intrusive list backs both the feature buffer's standby list and the
+// simulated page cache, and its distinguishing operation — O(1) removal
+// from the MIDDLE when a node reuses its own zero-ref slot — is exactly the
+// one a plain queue model would miss. The driver replays long random
+// operation sequences against a std::list<uint32_t> (front = LRU) plus a
+// membership set, checking every observable (size, emptiness, membership,
+// LRU head, pop order) after each step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <unordered_set>
+#include <vector>
+
+#include "util/lru.hpp"
+#include "util/rng.hpp"
+
+namespace gnndrive {
+namespace {
+
+/// Reference model: std::list keeps recency order (front = LRU, back =
+/// MRU), the set answers contains() without an O(n) scan.
+struct ListModel {
+  std::list<std::uint32_t> order;
+  std::unordered_set<std::uint32_t> present;
+
+  void push_mru(std::uint32_t id) {
+    order.push_back(id);
+    present.insert(id);
+  }
+  std::uint32_t pop_lru() {
+    const std::uint32_t id = order.front();
+    order.pop_front();
+    present.erase(id);
+    return id;
+  }
+  void remove(std::uint32_t id) {
+    order.erase(std::find(order.begin(), order.end(), id));
+    present.erase(id);
+  }
+  void touch(std::uint32_t id) {
+    remove(id);
+    push_mru(id);
+  }
+  bool contains(std::uint32_t id) const { return present.count(id) != 0; }
+  std::uint32_t peek_lru() const {
+    return order.empty() ? IndexedLruList::kNilId : order.front();
+  }
+};
+
+/// Full observable-state comparison; called after every mutation.
+void expect_equivalent(const IndexedLruList& lru, const ListModel& model,
+                       std::uint32_t capacity, std::uint64_t step) {
+  ASSERT_EQ(lru.size(), model.order.size()) << "step " << step;
+  ASSERT_EQ(lru.empty(), model.order.empty()) << "step " << step;
+  ASSERT_EQ(lru.peek_lru(), model.peek_lru()) << "step " << step;
+  for (std::uint32_t id = 0; id < capacity; ++id) {
+    ASSERT_EQ(lru.contains(id), model.contains(id))
+        << "step " << step << " id " << id;
+  }
+}
+
+/// Picks a present id uniformly (model-driven, deterministic).
+std::uint32_t random_present(const ListModel& model, Rng& rng) {
+  auto it = model.order.begin();
+  std::advance(it, rng.next_below(static_cast<std::uint32_t>(
+                   model.order.size())));
+  return *it;
+}
+
+void run_fuzz(std::uint32_t capacity, std::uint64_t seed,
+              std::uint32_t steps) {
+  IndexedLruList lru(capacity);
+  ListModel model;
+  Rng rng(seed);
+  std::vector<std::uint32_t> absent;  // rebuilt lazily when needed
+
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    const std::uint32_t op = rng.next_below(100);
+    if (op < 40) {
+      // push_mru of a random absent id (40%).
+      if (model.order.size() < capacity) {
+        std::uint32_t id;
+        do {
+          id = rng.next_below(capacity);
+        } while (model.contains(id));
+        lru.push_mru(id);
+        model.push_mru(id);
+      }
+    } else if (op < 60) {
+      // pop_lru (20%) — orders must match exactly.
+      if (!model.order.empty()) {
+        ASSERT_EQ(lru.pop_lru(), model.pop_lru()) << "step " << step;
+      }
+    } else if (op < 85) {
+      // remove from an arbitrary position (25%) — the reuse-from-middle
+      // path Algorithm 1 takes when a node reclaims its own standby slot.
+      if (!model.order.empty()) {
+        const std::uint32_t id = random_present(model, rng);
+        lru.remove(id);
+        model.remove(id);
+      }
+    } else {
+      // touch: remove + re-push at MRU (15%), the page-cache hit path.
+      if (!model.order.empty()) {
+        const std::uint32_t id = random_present(model, rng);
+        lru.touch(id);
+        model.touch(id);
+      }
+    }
+    expect_equivalent(lru, model, capacity, step);
+  }
+
+  // Drain: the full remaining pop order must match the model's.
+  while (!model.order.empty()) {
+    ASSERT_EQ(lru.pop_lru(), model.pop_lru());
+  }
+  EXPECT_TRUE(lru.empty());
+}
+
+TEST(IndexedLruProperty, MatchesListModelSmall) {
+  // Tiny capacity maximizes head/tail/single-element edge cases.
+  run_fuzz(/*capacity=*/4, /*seed=*/0x11u, /*steps=*/4000);
+  run_fuzz(/*capacity=*/5, /*seed=*/0x22u, /*steps=*/4000);
+}
+
+TEST(IndexedLruProperty, MatchesListModelMedium) {
+  run_fuzz(/*capacity=*/64, /*seed=*/0x33u, /*steps=*/6000);
+}
+
+TEST(IndexedLruProperty, MatchesListModelManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    run_fuzz(/*capacity=*/16, seed * 0x9E3779B9u, /*steps=*/2000);
+  }
+}
+
+TEST(IndexedLruProperty, ReuseFromMiddlePreservesNeighbors) {
+  // Directed scenario on top of the fuzz: removing B from [A,B,C] must
+  // splice A->C, and the later pops must see exactly that order.
+  IndexedLruList lru(8);
+  lru.push_mru(0);  // LRU
+  lru.push_mru(1);
+  lru.push_mru(2);  // MRU
+  lru.remove(1);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.pop_lru(), 0u);
+  EXPECT_EQ(lru.pop_lru(), 2u);
+  EXPECT_TRUE(lru.empty());
+
+  // Re-inserting a removed id lands at the MRU end, not its old position.
+  lru.push_mru(3);
+  lru.push_mru(1);
+  EXPECT_EQ(lru.peek_lru(), 3u);
+  EXPECT_EQ(lru.pop_lru(), 3u);
+  EXPECT_EQ(lru.pop_lru(), 1u);
+}
+
+}  // namespace
+}  // namespace gnndrive
