@@ -1,0 +1,167 @@
+// Telemetry-endpoint smoke: trains and serves concurrently while scraping
+// /metrics, /vars, /attribution and /readyz over real sockets, then writes
+// a machine-readable summary to BENCH_obs.json (scrape counts, exposition
+// size, the final attribution report, SLO alert states). The CI obs step
+// greps the summary and the OBS_SMOKE_DONE sentinel from run_benches.sh.
+//
+// Usage: obs_endpoint [BENCH_obs.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "obs/attribution.hpp"
+#include "obs/http.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "serve/engine.hpp"
+
+using namespace gnndrive;
+using namespace gnndrive::bench;
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  print_banner("Telemetry endpoint smoke (docs/observability.md)",
+               "Scrapes /metrics, /vars, /attribution and /readyz while a "
+               "GNNDrive-GPU epoch trains and the serve engine answers "
+               "requests; writes BENCH_obs.json.");
+
+  const Dataset& dataset = get_dataset("papers100m");
+  Env env = make_env(dataset, kDefaultMemGB, default_ssd(),
+                     /*with_telemetry=*/true);
+  auto system = make_system("GNNDrive-GPU", env, common_config(ModelKind::kSage));
+
+  // Standalone serving substrate sharing the trainer's telemetry plane.
+  FeatureBuffer fb(FeatureBufferConfig{4096, dataset.spec().feature_dim},
+                   dataset.spec().num_nodes, env.telemetry.get());
+  ModelConfig mc;
+  mc.kind = ModelKind::kSage;
+  mc.in_dim = dataset.spec().feature_dim;
+  mc.hidden_dim = 64;
+  mc.num_classes = dataset.spec().num_classes;
+  mc.num_layers = 2;
+  GnnModel model(mc);
+  ServeConfig serve_cfg;
+  serve_cfg.sampler.fanouts = {10, 10};
+  serve_cfg.workers = 1;
+  serve_cfg.max_batch = 8;
+  serve_cfg.slo.deadline_ms = 200.0;  // registers the serve p99 SLO rule
+  ServeEngine engine(env.ctx, serve_cfg,
+                     ServeSubstrate{&fb, &model, nullptr, 0});
+  engine.start();
+
+  ObsServer server(env.telemetry->metrics(), env.telemetry->sampler(),
+                   env.telemetry->attributor(), env.telemetry->slo());
+  if (!server.start()) {
+    std::printf("FAILED to bind the telemetry endpoint\n");
+    return 1;
+  }
+  std::printf("endpoint: http://127.0.0.1:%u\n\n", server.port());
+
+  // Train one epoch while a scraper polls every route and a light serve
+  // load keeps the inference path busy.
+  std::atomic<bool> running{true};
+  std::uint64_t metrics_ok = 0, vars_ok = 0, attribution_ok = 0, ready_ok = 0,
+                failures = 0;
+  std::size_t metrics_bytes = 0;
+  std::thread scraper([&] {
+    HttpResponse resp;
+    while (running.load(std::memory_order_relaxed)) {
+      if (obs_http_get("127.0.0.1", server.port(), "/metrics", &resp) &&
+          resp.status == 200) {
+        ++metrics_ok;
+        metrics_bytes = resp.body.size();
+      } else {
+        ++failures;
+      }
+      if (obs_http_get("127.0.0.1", server.port(), "/vars", &resp) &&
+          resp.status == 200) {
+        ++vars_ok;
+      } else {
+        ++failures;
+      }
+      if (obs_http_get("127.0.0.1", server.port(), "/attribution", &resp) &&
+          resp.status == 200) {
+        ++attribution_ok;
+      } else {
+        ++failures;
+      }
+      if (obs_http_get("127.0.0.1", server.port(), "/readyz", &resp) &&
+          resp.status == 200) {
+        ++ready_ok;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  std::thread load([&] {
+    NodeId v = 0;
+    while (running.load(std::memory_order_relaxed)) {
+      std::vector<std::future<InferResult>> futs;
+      for (int i = 0; i < 8; ++i) {
+        futs.push_back(engine.submit(v++ % dataset.spec().num_nodes));
+      }
+      for (auto& f : futs) f.get();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  const EpochStats stats = system->run_epoch(0);
+  running.store(false, std::memory_order_relaxed);
+  scraper.join();
+  load.join();
+  engine.stop();
+
+  HttpResponse attribution;
+  obs_http_get("127.0.0.1", server.port(), "/attribution", &attribution);
+  const std::string alerts = env.telemetry->slo()->to_json();
+  server.stop();
+
+  std::printf("epoch: %.2fs wall, %llu/%llu batches trained\n",
+              stats.epoch_seconds,
+              static_cast<unsigned long long>(stats.result.trained_batches),
+              static_cast<unsigned long long>(stats.batches));
+  std::printf("scrapes: metrics %llu, vars %llu, attribution %llu, "
+              "ready %llu, failures %llu\n",
+              static_cast<unsigned long long>(metrics_ok),
+              static_cast<unsigned long long>(vars_ok),
+              static_cast<unsigned long long>(attribution_ok),
+              static_cast<unsigned long long>(ready_ok),
+              static_cast<unsigned long long>(failures));
+  std::printf("attribution: %s\n",
+              env.telemetry->attributor()->latest().summary().c_str());
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAILED to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\"epoch_seconds\":%.4f,\"trained_batches\":%llu,"
+      "\"scrapes\":{\"metrics\":%llu,\"vars\":%llu,\"attribution\":%llu,"
+      "\"readyz_200\":%llu,\"failures\":%llu},"
+      "\"metrics_bytes\":%zu,\"attribution\":%s,\"slo_alerts\":%s}\n",
+      stats.epoch_seconds,
+      static_cast<unsigned long long>(stats.result.trained_batches),
+      static_cast<unsigned long long>(metrics_ok),
+      static_cast<unsigned long long>(vars_ok),
+      static_cast<unsigned long long>(attribution_ok),
+      static_cast<unsigned long long>(ready_ok),
+      static_cast<unsigned long long>(failures),
+      metrics_bytes,
+      attribution.status == 200 ? attribution.body.c_str() : "null",
+      alerts.c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The smoke fails if any scrape failed or the endpoint saw no traffic.
+  if (failures > 0 || metrics_ok == 0 || ready_ok == 0) {
+    std::printf("OBS SMOKE FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,12 +4,32 @@
 // and the unified metrics registry. See docs/observability.md.
 //
 // Usage: trace_pipeline [trace.json]   (default output: trace.json)
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "bench/bench_common.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace gnndrive;
 using namespace gnndrive::bench;
+
+namespace {
+
+/// Mean epoch wall time over `n` untraced epochs.
+double mean_epoch_seconds(TrainSystem& system, int n,
+                          std::uint64_t first_epoch) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += system.run_epoch(first_epoch + i).epoch_seconds;
+  }
+  return total / n;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::string trace_path = argc > 1 ? argv[1] : "trace.json";
@@ -52,5 +72,52 @@ int main(int argc, char** argv) {
     std::printf("FAILED to write %s\n", trace_path.c_str());
     return 1;
   }
+
+  // -- telemetry-plane overhead A/B ------------------------------------------
+  // Baseline: sampler disabled (no ticks, no ring). Plane: sampler enabled
+  // plus the HTTP endpoint under a continuous /metrics scrape. The plane is
+  // designed to cost <= 2% epoch time.
+  std::printf("--- telemetry plane overhead ---\n");
+  const int n = measure_epochs();
+  TimeSeriesSampler* sampler = env.telemetry->sampler();
+  sampler->set_enabled(false);
+  const double base_s = mean_epoch_seconds(*system, n, 2000);
+
+  sampler->set_enabled(true);
+  const double sampler_s = mean_epoch_seconds(*system, n, 2500);
+
+  ObsServer server(env.telemetry->metrics(), sampler,
+                   env.telemetry->attributor(), env.telemetry->slo());
+  std::atomic<bool> scraping{true};
+  std::uint64_t scrapes = 0;
+  std::thread scraper;
+  if (server.start()) {
+    scraper = std::thread([&] {
+      HttpResponse resp;
+      while (scraping.load(std::memory_order_relaxed)) {
+        if (obs_http_get("127.0.0.1", server.port(), "/metrics", &resp) &&
+            resp.status == 200) {
+          ++scrapes;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+  const double plane_s = mean_epoch_seconds(*system, n, 3000);
+  scraping.store(false, std::memory_order_relaxed);
+  if (scraper.joinable()) scraper.join();
+  server.stop();
+
+  const double overhead_pct = base_s > 0.0
+      ? (plane_s - base_s) / base_s * 100.0 : 0.0;
+  std::printf(
+      "baseline (sampler off)        %.3fs/epoch\n"
+      "sampler only                  %.3fs/epoch (%+.2f%%)\n"
+      "sampler + /metrics scrape     %.3fs/epoch (%llu scrapes)\n"
+      "overhead                      %+.2f%% (target <= 2%%)\n",
+      base_s, sampler_s,
+      base_s > 0.0 ? (sampler_s - base_s) / base_s * 100.0 : 0.0,
+      plane_s, static_cast<unsigned long long>(scrapes),
+      overhead_pct);
   return 0;
 }

@@ -24,12 +24,33 @@
 #            the crash matrix (writer aborted at every protocol phase,
 #            bit-exact resume), media-corruption fallback, serve hot-swap
 #            and the kill-and-resume soak (see docs/recovery.md).
+#        ./run_benches.sh --obs [output-file]
+#            telemetry-plane smoke mode: runs the live-endpoint bench
+#            (scrapes /metrics, /vars, /attribution and /readyz while a
+#            train epoch and the serve engine run concurrently, writes
+#            BENCH_obs.json) plus the sampler/exposition/attribution/SLO
+#            test suites (see docs/observability.md).
 #        ./run_benches.sh --cache [output-file]
 #            cache-policy smoke mode: runs the lru/hotness/belady A/B sweep
 #            (hit rate, ssd.reads across skew levels and buffer budgets)
 #            plus the cache test suites (construction validation, pinned
 #            hot-partition semantics, LRU property/fuzz, byte-identical
 #            differential, checkpoint hot-set adoption).
+if [ "$1" = "--obs" ]; then
+  shift
+  OUT="${1:-obs_smoke_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ telemetry-plane smoke (bench/obs_endpoint + obs suites) ############"
+    timeout 580 build/bench/obs_endpoint BENCH_obs.json 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tests/gnndrive_tests \
+      --gtest_filter='TimeSeries.*:HistogramWindowing.*:Exposition.*:Attribution.*:Slo.*:ObsServer.*:ObsPlaneFixture.*' 2>&1
+    echo "[exit=$?]"
+    echo OBS_SMOKE_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--cache" ]; then
   shift
   OUT="${1:-cache_policy_output.txt}"

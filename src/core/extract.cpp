@@ -253,6 +253,7 @@ bool extract_load_set(SampledBatch& batch,
       std::lock_guard lk(tracker.m);
       tracker.free_rows.push_back(row);
     }
+    if (hooks.staging_in_use != nullptr) hooks.staging_in_use->sub(1);
     tracker.cv.notify_all();
   };
   const auto fail_segment = [&](std::size_t s) {
@@ -299,6 +300,7 @@ bool extract_load_set(SampledBatch& batch,
         row = tracker.free_rows.back();
         tracker.free_rows.pop_back();
       }
+      if (hooks.staging_in_use != nullptr) hooks.staging_in_use->add(1);
       const std::size_t s = submitted++;
       row_of[s] = row;
       const SegmentPlan::Segment& seg = plan.segments[s];
@@ -433,7 +435,8 @@ bool extract_load_set(SampledBatch& batch,
         const std::uint8_t* src = row_base + plan.rows[r].seg_offset;
         env.gpu->memcpy_h2d_async(
             fb.slot_data(slot), src, row_bytes,
-            [&fb, &tracker, node, row, s] {
+            [&fb, &tracker, node, row, s,
+             g_staging = hooks.staging_in_use] {
               fb.mark_valid(node);
               std::lock_guard lk(tracker.m);
               ++tracker.transfers_done;
@@ -441,6 +444,7 @@ bool extract_load_set(SampledBatch& batch,
               // segment has left it.
               if (--tracker.rows_left[s] == 0) {
                 tracker.free_rows.push_back(row);
+                if (g_staging != nullptr) g_staging->sub(1);
               }
               tracker.cv.notify_all();
             });
@@ -460,6 +464,7 @@ bool extract_load_set(SampledBatch& batch,
       std::lock_guard lk(tracker.m);
       tracker.transfers_done += seg.num_rows;
       tracker.free_rows.push_back(row);
+      if (hooks.staging_in_use != nullptr) hooks.staging_in_use->sub(1);
     }
   }
 

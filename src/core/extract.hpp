@@ -45,6 +45,7 @@ namespace gnndrive {
 
 class GpuDevice;
 class Counter;
+class Gauge;
 class ConcurrentHistogram;
 class Telemetry;
 
@@ -131,6 +132,7 @@ struct ExtractMetricHooks {
   Counter* segments = nullptr;              ///< io.coalesce.segments
   Counter* rows = nullptr;                  ///< io.coalesce.rows
   ConcurrentHistogram* rows_per_read = nullptr;  ///< io.coalesce.rows_per_read
+  Gauge* staging_in_use = nullptr;          ///< io.staging_in_use (rows held)
 };
 
 /// Per-call accounting, merged by the caller into its own counters

@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "core/evaluate.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sampling/topology.hpp"
 #include "util/logging.hpp"
@@ -628,6 +630,37 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   const bool tracing = tracer != nullptr && tracer->enabled();
   const auto epoch32 = static_cast<std::uint32_t>(epoch);
 
+  // Live telemetry plane: refresh the attributor's topology, lease the
+  // time-series sampler for the duration of the epoch (replaces the old
+  // tracing-only 5 ms monitor thread — the sampler re-emits every gauge as
+  // a trace counter track while tracing is on), and mark the process ready.
+  BottleneckAttributor* attributor = tel != nullptr ? tel->attributor() : nullptr;
+  if (attributor != nullptr) {
+    AttributionConfig ac = attributor->config();
+    ac.num_samplers = config_.num_samplers;
+    ac.num_extractors = num_extractors_;
+    ac.extract_queue_cap = config_.extract_queue_cap;
+    ac.train_queue_cap = config_.train_queue_cap;
+    if (ctx_.ssd != nullptr) ac.ssd_channels = ctx_.ssd->config().channels;
+    attributor->set_config(ac);
+  }
+  Gauge* g_running = reg != nullptr ? &reg->gauge("pipeline.running") : nullptr;
+  if (reg != nullptr) {
+    reg->gauge("pipeline.epoch").set(static_cast<std::int64_t>(epoch));
+  }
+  if (g_running != nullptr) g_running->add(1);
+  struct RunningGuard {
+    Gauge* g;
+    ~RunningGuard() {
+      if (g != nullptr) g->sub(1);
+    }
+  } running_guard{g_running};
+  SamplerLease sampler_lease(tel != nullptr ? tel->sampler() : nullptr);
+  MetricsRegistry::Snapshot epoch_begin_snap;
+  if (reg != nullptr && attributor != nullptr) {
+    epoch_begin_snap = reg->snapshot();
+  }
+
   // Release-queue payload: the node list plus the batch id, so release spans
   // line up with the rest of the batch's trace.
   struct ReleaseItem {
@@ -769,6 +802,7 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
             state.hooks.rows = &reg->counter("io.coalesce.rows");
             state.hooks.rows_per_read =
                 &reg->histogram("io.coalesce.rows_per_read");
+            state.hooks.staging_in_use = &reg->gauge("io.staging_in_use");
           }
           if (config_.gds_mode) {
             state.gds_base =
@@ -915,30 +949,11 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     });
   }
 
-  // Periodic snapshot thread: samples queue depths, standby-list length and
-  // in-flight I/O as Chrome-trace counter tracks while tracing is on.
-  std::atomic<bool> monitor_stop{false};
-  std::thread monitor;
-  if (tracing) {
-    Gauge* io_inflight = reg != nullptr ? &reg->gauge("io.inflight") : nullptr;
-    monitor = std::thread([&, io_inflight] {
-      while (!monitor_stop.load(std::memory_order_relaxed)) {
-        tracer->sample_counter("extract_q",
-                               static_cast<double>(extract_q.size()));
-        tracer->sample_counter("train_q", static_cast<double>(train_q.size()));
-        tracer->sample_counter("release_q",
-                               static_cast<double>(release_q.size()));
-        tracer->sample_counter(
-            "fb.standby",
-            static_cast<double>(feature_buffer_->standby_size()));
-        if (io_inflight != nullptr) {
-          tracer->sample_counter("io.inflight",
-                                 static_cast<double>(io_inflight->value()));
-        }
-        std::this_thread::sleep_for(from_us(5000.0));
-      }
-    });
-  }
+  // The queue-depth / standby / in-flight counter tracks that used to come
+  // from a dedicated 5 ms monitor thread here now come from the leased
+  // TimeSeriesSampler: every tick re-emits each registry gauge
+  // (pipeline.*.depth, fb.standby, io.inflight, ...) as a trace counter
+  // track while tracing is enabled.
 
   for (auto& t : samplers) t.join();
   extract_q.close();
@@ -952,10 +967,6 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
     workers[0].join();
   }
   if (gpu_ != nullptr) gpu_->sync();
-  if (monitor.joinable()) {
-    monitor_stop.store(true, std::memory_order_relaxed);
-    monitor.join();
-  }
 
   {
     std::lock_guard lk(err_mu);
@@ -1012,6 +1023,15 @@ EpochStats GnnDrive::run_epoch(std::uint64_t epoch) {
   if (denom > 0) {
     stats.loss /= static_cast<double>(denom);
     stats.train_accuracy /= static_cast<double>(denom);
+  }
+
+  // Epoch-scoped bottleneck report: diagnose the epoch just run from its
+  // bounding registry snapshots and publish it (structured "attribution"
+  // event + the /attribution endpoint's latest report).
+  if (reg != nullptr && attributor != nullptr) {
+    attributor->publish(attributor->attribute(
+        epoch_begin_snap, reg->snapshot(), stats.epoch_seconds,
+        "epoch " + std::to_string(epoch)));
   }
   return stats;
 }

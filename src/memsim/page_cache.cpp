@@ -1,5 +1,7 @@
 #include "memsim/page_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <list>
 #include <stdexcept>
 #include <vector>
@@ -7,7 +9,22 @@
 namespace gnndrive {
 
 PageCache::PageCache(HostMemory& mem, SsdDevice& ssd, Telemetry* telemetry)
-    : mem_(mem), ssd_(ssd), telemetry_(telemetry) {}
+    : mem_(mem), ssd_(ssd), telemetry_(telemetry) {
+  set_telemetry(telemetry);
+}
+
+void PageCache::set_telemetry(Telemetry* t) {
+  telemetry_ = t;
+  if (t == nullptr) {
+    m_hits_ = m_misses_ = m_evictions_ = m_fault_wait_us_ = nullptr;
+    return;
+  }
+  MetricsRegistry& reg = *t->metrics();
+  m_hits_ = &reg.counter("pagecache.hits");
+  m_misses_ = &reg.counter("pagecache.misses");
+  m_evictions_ = &reg.counter("pagecache.evictions");
+  m_fault_wait_us_ = &reg.counter("pagecache.fault_wait_us");
+}
 
 std::uint64_t PageCache::capacity_pages() const {
   return mem_.available() / kPageSize;
@@ -47,6 +64,7 @@ void PageCache::evict_to_capacity_locked() {
     lru_.pop_front();
     resident_.erase(victim);
     ++stats_.evictions;
+    if (m_evictions_ != nullptr) m_evictions_->add();
   }
 }
 
@@ -57,14 +75,21 @@ bool PageCache::fault_page(std::unique_lock<std::mutex>& lock,
     // Hit: move to MRU position.
     lru_.splice(lru_.end(), lru_, it->second);
     ++stats_.hits;
+    if (m_hits_ != nullptr) m_hits_->add();
     return true;
   }
   if (loading_.count(page_no) != 0) {
     // Another thread is faulting the same page: wait, like a real page fault
     // on a locked page. Attributed as a miss for this caller.
     ++stats_.misses;
+    if (m_misses_ != nullptr) m_misses_->add();
     ScopedTrace trace(telemetry_, TraceCat::kIoWait);
+    const TimePoint wait_t0 = Clock::now();
     load_done_.wait(lock, [&] { return loading_.count(page_no) == 0; });
+    if (m_fault_wait_us_ != nullptr) {
+      m_fault_wait_us_->add(static_cast<std::uint64_t>(
+          to_seconds(Clock::now() - wait_t0) * 1e6));
+    }
     auto again = resident_.find(page_no);
     if (again != resident_.end()) {
       lru_.splice(lru_.end(), lru_, again->second);
@@ -72,8 +97,10 @@ bool PageCache::fault_page(std::unique_lock<std::mutex>& lock,
     return false;
   }
   ++stats_.misses;
+  if (m_misses_ != nullptr) m_misses_->add();
   loading_.insert(page_no);
   lock.unlock();
+  const TimePoint fault_t0 = Clock::now();
   {
     // Synchronous modeled device read. The page content itself stays in the
     // backend (shared RAM image); the device read charges the latency and
@@ -102,6 +129,10 @@ bool PageCache::fault_page(std::unique_lock<std::mutex>& lock,
       load_done_.notify_all();
       throw std::runtime_error("PageCache: device read failed after retries");
     }
+  }
+  if (m_fault_wait_us_ != nullptr) {
+    m_fault_wait_us_->add(static_cast<std::uint64_t>(
+        to_seconds(Clock::now() - fault_t0) * 1e6));
   }
   lock.lock();
   loading_.erase(page_no);
@@ -134,6 +165,7 @@ bool PageCache::try_read_resident(std::uint64_t offset, std::uint64_t len,
     for (std::uint64_t p = first; p <= last; ++p) {
       if (resident_.find(p) == resident_.end()) {
         ++stats_.misses;
+        if (m_misses_ != nullptr) m_misses_->add();
         return false;
       }
     }
@@ -141,6 +173,7 @@ bool PageCache::try_read_resident(std::uint64_t offset, std::uint64_t len,
       auto it = resident_.find(p);
       lru_.splice(lru_.end(), lru_, it->second);
       ++stats_.hits;
+      if (m_hits_ != nullptr) m_hits_->add();
     }
   }
   ssd_.backend().read(offset, static_cast<std::uint32_t>(len), dst);

@@ -68,7 +68,9 @@ class PageCache : NonCopyable {
   PageCacheStats stats() const;
   void reset_stats();
 
-  void set_telemetry(Telemetry* t) { telemetry_ = t; }
+  /// Also (re)resolves the pagecache.* registry counters the bottleneck
+  /// attributor reads for its thrash diagnosis.
+  void set_telemetry(Telemetry* t);
 
  private:
   /// Makes `page_no` resident; returns true on hit. Called with mu_ held;
@@ -79,6 +81,15 @@ class PageCache : NonCopyable {
   HostMemory& mem_;
   SsdDevice& ssd_;
   Telemetry* telemetry_;
+  /// Registry mirrors (null without telemetry); bumped under mu_ at the
+  /// same sites as stats_, so windowed deltas match stats() exactly.
+  Counter* m_hits_ = nullptr;       ///< pagecache.hits
+  Counter* m_misses_ = nullptr;     ///< pagecache.misses
+  Counter* m_evictions_ = nullptr;  ///< pagecache.evictions
+  /// pagecache.fault_wait_us: wall time callers spent blocked in
+  /// fault_page (device reads + waits on another thread's load). The
+  /// attributor reads its windowed delta as the cache's stall cost.
+  Counter* m_fault_wait_us_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable load_done_;

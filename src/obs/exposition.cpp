@@ -1,0 +1,213 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gnndrive {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+/// "{job="train",le="4"}" — merged base labels plus an optional extra.
+std::string label_block(const MetricLabels& labels, const char* extra_key,
+                        const std::string& extra_value) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_metric_name(k);
+    out += "=\"";
+    out += prometheus_escape_label_value(v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;  // le values are numeric, no escaping needed
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out += '_';
+  }
+  for (char c : name) out += valid_name_char(c) ? c : '_';
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string prometheus_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry::Snapshot& snap,
+                              const MetricLabels& labels) {
+  std::string out;
+  out.reserve(16384);
+  const std::string base = label_block(labels, nullptr, {});
+  char line[192];
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prometheus_metric_name(name) + "_total";
+    append_type(out, n, "counter");
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", value);
+    out += n;
+    out += base;
+    out += line;
+  }
+
+  for (const auto& [name, g] : snap.gauges) {
+    const std::string n = prometheus_metric_name(name);
+    append_type(out, n, "gauge");
+    std::snprintf(line, sizeof(line), " %" PRId64 "\n", g.value);
+    out += n;
+    out += base;
+    out += line;
+    // High-watermark companion series.
+    const std::string nmax = n + "_max";
+    append_type(out, nmax, "gauge");
+    std::snprintf(line, sizeof(line), " %" PRId64 "\n", g.max);
+    out += nmax;
+    out += base;
+    out += line;
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prometheus_metric_name(name);
+    append_type(out, n, "histogram");
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      cumulative += h.bucket(i);
+      char le[32];
+      std::snprintf(le, sizeof(le), "%.0f", LatencyHistogram::bucket_upper_us(i));
+      out += n;
+      out += "_bucket";
+      out += label_block(labels, "le", le);
+      std::snprintf(line, sizeof(line), " %" PRIu64 "\n", cumulative);
+      out += line;
+    }
+    out += n;
+    out += "_bucket";
+    out += label_block(labels, "le", "+Inf");
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.count());
+    out += line;
+    out += n;
+    out += "_sum";
+    out += base;
+    out += ' ';
+    out += format_double(h.sum_us());
+    out += '\n';
+    out += n;
+    out += "_count";
+    out += base;
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.count());
+    out += line;
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_vars_json(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  out.reserve(16384);
+  out += "{\"counters\":{";
+  bool first = true;
+  char buf[256];
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64,
+                  json_escape(name).c_str(), value);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"value\":%" PRId64 ",\"max\":%" PRId64 "}",
+                  json_escape(name).c_str(), g.value, g.max);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%" PRIu64
+                  ",\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
+                  "\"max\":%.3f}",
+                  json_escape(name).c_str(), h.count(), h.mean_us(),
+                  h.percentile_us(0.50), h.percentile_us(0.95),
+                  h.percentile_us(0.99), h.max_us());
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace gnndrive

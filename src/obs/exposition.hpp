@@ -1,0 +1,48 @@
+// Text exposition of a metrics snapshot: Prometheus text format 0.0.4 for
+// the /metrics route and a JSON rendering for /vars. Pure functions over
+// MetricsRegistry::Snapshot, testable without a socket.
+//
+// Mapping rules (docs/observability.md "HTTP endpoint"):
+//   * Dotted registry names sanitize to [a-zA-Z0-9_:] ("io.coalesce.rows"
+//     -> "io_coalesce_rows"); counters get the conventional "_total"
+//     suffix.
+//   * Gauges emit their level plus a companion "<name>_max" gauge for the
+//     high-watermark.
+//   * Histograms emit the full cumulative `_bucket{le="..."}` ladder
+//     (log2 boundaries in the histogram's native unit, microseconds for
+//     "*.us" series), `_sum` and `_count`.
+//   * A caller-provided label set attaches to every series, with label
+//     values escaped per the format spec (backslash, double quote,
+//     newline).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gnndrive {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Registry name -> Prometheus metric name: invalid characters become '_';
+/// a leading digit gains a '_' prefix.
+std::string prometheus_metric_name(const std::string& name);
+
+/// Escapes a label value per the text format: \ -> \\, " -> \", LF -> \n.
+std::string prometheus_escape_label_value(const std::string& value);
+
+/// Full exposition of the snapshot in Prometheus text format 0.0.4.
+std::string render_prometheus(const MetricsRegistry::Snapshot& snap,
+                              const MetricLabels& labels = {});
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// JSON object with "counters", "gauges" (value/max) and "histograms"
+/// (count/mean/p50/p95/p99/max in the series' native unit).
+std::string render_vars_json(const MetricsRegistry::Snapshot& snap);
+
+}  // namespace gnndrive

@@ -84,6 +84,18 @@ class ConcurrentHistogram : NonCopyable {
   }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Drops every sample so the next window starts fresh (per-epoch
+  /// histogram hygiene). Adds racing with a reset may land on either side
+  /// of the window boundary — both attributions are valid for windowed
+  /// reporting. Prefer snapshot() + LatencyHistogram::diff_since when the
+  /// cumulative series must keep growing (Prometheus exposition).
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
   /// Consistent-enough copy for reporting (buckets are read individually;
   /// a racing add may be off by one sample, which percentiles tolerate).
   LatencyHistogram snapshot() const {

@@ -1,0 +1,113 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+#include "obs/exposition.hpp"
+#include "obs/timeseries.hpp"
+
+namespace gnndrive {
+
+void SloWatcher::add_rule(SloRule rule) {
+  std::lock_guard lk(mu_);
+  for (Entry& e : entries_) {
+    if (e.rule.name == rule.name) {
+      e.rule = std::move(rule);
+      e.state.threshold = e.rule.threshold;
+      return;
+    }
+  }
+  Entry e;
+  e.state.rule = rule.name;
+  e.state.threshold = rule.threshold;
+  e.rule = std::move(rule);
+  entries_.push_back(std::move(e));
+}
+
+std::size_t SloWatcher::rule_count() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+void SloWatcher::evaluate(const TimeSeriesSampler& ts) {
+  std::lock_guard lk(mu_);
+  for (Entry& e : entries_) {
+    double value = 0.0;
+    bool measurable = false;
+    switch (e.rule.kind) {
+      case SloRule::Kind::kHistogramQuantile: {
+        const LatencyHistogram h =
+            ts.histogram_window(e.rule.metric, e.rule.window_s);
+        measurable = h.count() > 0;
+        value = h.percentile_us(e.rule.quantile);
+        break;
+      }
+      case SloRule::Kind::kCounterRate: {
+        const auto w = ts.counter_window(e.rule.metric, e.rule.window_s);
+        measurable = w.valid && w.dt_seconds > 0;
+        value = w.rate_per_s;
+        break;
+      }
+      case SloRule::Kind::kGaugeLevel: {
+        const auto w = ts.gauge_window(e.rule.metric, e.rule.window_s);
+        measurable = w.valid;
+        value = static_cast<double>(w.last);
+        break;
+      }
+    }
+    // An unmeasurable window (no samples of the series) resolves a firing
+    // alert rather than latching it forever.
+    const bool firing = measurable && value > e.rule.threshold;
+    e.state.value = measurable ? value : 0.0;
+    if (firing && !e.state.firing) {
+      ++e.state.fire_count;
+      log_structured(e.rule.level, "slo_alert",
+                     {kv("rule", e.rule.name), kv("metric", e.rule.metric),
+                      kv("value", value), kv("threshold", e.rule.threshold),
+                      kv("window_s", e.rule.window_s)});
+    } else if (!firing && e.state.firing) {
+      log_structured(LogLevel::kInfo, "slo_resolved",
+                     {kv("rule", e.rule.name), kv("metric", e.rule.metric),
+                      kv("value", e.state.value),
+                      kv("threshold", e.rule.threshold)});
+    }
+    e.state.firing = firing;
+  }
+}
+
+std::vector<SloAlert> SloWatcher::alerts() const {
+  std::lock_guard lk(mu_);
+  std::vector<SloAlert> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.state);
+  return out;
+}
+
+std::uint64_t SloWatcher::firing_count() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const Entry& e : entries_) n += e.state.firing ? 1 : 0;
+  return n;
+}
+
+std::string SloWatcher::to_json() const {
+  const std::vector<SloAlert> all = alerts();
+  std::string out = "[";
+  char buf[160];
+  bool first = true;
+  for (const SloAlert& a : all) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"rule\":\"";
+    out += json_escape(a.rule);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"firing\":%s,\"value\":%.3f,\"threshold\":%.3f,"
+                  "\"fire_count\":%llu}",
+                  a.firing ? "true" : "false", a.value, a.threshold,
+                  static_cast<unsigned long long>(a.fire_count));
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace gnndrive

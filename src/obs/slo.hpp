@@ -1,0 +1,70 @@
+// Threshold rules over the live time-series: serve p99 vs SLO, fault
+// rates, queue saturation. Rules are evaluated on every sampler tick (the
+// sampler's on_tick hook) against windowed statistics, so a rule fires on
+// what happened in the last few seconds, never on process-lifetime
+// aggregates. Transitions emit structured log events on the existing
+// channel ("slo_alert" on fire, "slo_resolved" on clear), joinable with
+// the rest of the structured stream; the current alert states are also
+// queryable (the /vars route embeds them).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace gnndrive {
+
+class TimeSeriesSampler;
+
+struct SloRule {
+  enum class Kind {
+    kHistogramQuantile,  ///< windowed quantile of `metric` > threshold
+    kCounterRate,        ///< windowed events/second of `metric` > threshold
+    kGaugeLevel,         ///< current value of `metric` > threshold
+  };
+  std::string name;        ///< alert identity ("serve_p99_slo")
+  Kind kind = Kind::kHistogramQuantile;
+  std::string metric;      ///< registry series the rule watches
+  double quantile = 0.99;  ///< kHistogramQuantile only
+  double threshold = 0.0;  ///< us / events-per-s / gauge level
+  double window_s = 2.0;   ///< trailing window the statistic is taken over
+  LogLevel level = LogLevel::kWarn;  ///< severity of the fire event
+};
+
+struct SloAlert {
+  std::string rule;
+  bool firing = false;
+  double value = 0.0;      ///< last evaluated statistic
+  double threshold = 0.0;
+  std::uint64_t fire_count = 0;  ///< lifetime fire transitions
+};
+
+class SloWatcher {
+ public:
+  /// Adds or replaces (by name) a rule. Thread-safe.
+  void add_rule(SloRule rule);
+  std::size_t rule_count() const;
+
+  /// Evaluates every rule against the sampler's windows; emits
+  /// "slo_alert"/"slo_resolved" structured events on transitions. Called
+  /// from the sampler's on_tick hook, or directly by tests.
+  void evaluate(const TimeSeriesSampler& ts);
+
+  std::vector<SloAlert> alerts() const;
+  std::uint64_t firing_count() const;
+  /// JSON array of the alert states (embedded in /vars).
+  std::string to_json() const;
+
+ private:
+  struct Entry {
+    SloRule rule;
+    SloAlert state;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gnndrive

@@ -1,0 +1,179 @@
+// Always-available time-series sampling over the metrics registry.
+//
+// The PR-2 tracer answered "where did batch 417 spend its time" but only
+// while tracing was on, and the queue/buffer counter tracks came from a
+// 5 ms monitor thread that existed only inside a traced run_epoch. This
+// sampler replaces that thread with a component every consumer can share:
+// it snapshots every counter/gauge/histogram into a bounded ring at a
+// configurable interval and answers windowed questions — counter rates and
+// deltas, gauge mean/max over a window, and window-scoped histogram
+// quantiles (bucket diffs, so `/metrics`-style cumulative series never
+// pollute a window's p99).
+//
+// Lifecycle is refcounted: the pipeline holds a lease per epoch, the serve
+// engine one per start()/stop(), the HTTP endpoint one while it listens.
+// The background thread runs only while at least one lease is held, so an
+// idle process pays nothing. retain() and release() both take an immediate
+// sample, which bounds every window even when a leased section is shorter
+// than one interval.
+//
+// While span tracing is enabled, each tick also re-emits every gauge as a
+// Chrome trace-event counter track (queue depths, in-flight reads, free
+// slots, pin-budget occupancy), so Perfetto shows them on the same
+// timeline as the stage spans.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/common.hpp"
+
+namespace gnndrive {
+
+class SpanTracer;
+
+struct TimeSeriesConfig {
+  /// Tick period while any lease is held. 50ms (20 samples/s) keeps the
+  /// snapshot cost under the documented 2% epoch-time budget while still
+  /// resolving the seconds-scale windows the SLO watcher and attributor
+  /// query.
+  double interval_ms = 50.0;
+  std::size_t capacity = 4096;   ///< ring slots (oldest samples overwritten)
+  bool trace_gauges = true;      ///< re-emit gauges as Chrome counter tracks
+};
+
+/// One ring slot: a full typed registry snapshot plus its timestamp.
+struct TimeSeriesSample {
+  std::uint64_t seq = 0;   ///< monotone tick number (never wraps)
+  double t_seconds = 0.0;  ///< since sampler construction
+  MetricsRegistry::Snapshot snap;
+};
+
+class TimeSeriesSampler : NonCopyable {
+ public:
+  /// `tracer` may be null (no counter-track mirroring).
+  TimeSeriesSampler(MetricsRegistry* registry, SpanTracer* tracer,
+                    TimeSeriesConfig config = {});
+  ~TimeSeriesSampler();
+
+  /// Master gate: while disabled, leases are counted but no thread starts
+  /// and tick() is a no-op — the zero-overhead baseline benches compare
+  /// against. Enabled by default.
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Refcounted lease. The first retain() starts the sampling thread (and
+  /// takes an immediate sample); the last release() takes a final sample
+  /// and stops it.
+  void retain();
+  void release();
+  bool running() const;
+
+  /// One synchronous sample, independent of the thread (tests drive the
+  /// ring deterministically through this; retain/release call it too).
+  void tick();
+
+  /// Total ticks taken since construction.
+  std::uint64_t sample_count() const;
+  /// Chronological copy of the ring's current contents (oldest first).
+  std::vector<TimeSeriesSample> samples() const;
+  /// Copies the newest sample; false when no tick has happened yet.
+  bool latest(TimeSeriesSample* out) const;
+
+  /// Windowed counter statistics between the newest sample and the oldest
+  /// sample still inside [newest - window_s, newest]. When the window
+  /// holds fewer than two samples the immediately preceding sample is
+  /// used; `valid` is false when the ring cannot bound a window at all.
+  struct CounterWindow {
+    bool valid = false;
+    double dt_seconds = 0.0;
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    std::uint64_t delta = 0;      ///< saturating (counters are monotone)
+    double rate_per_s = 0.0;
+  };
+  CounterWindow counter_window(const std::string& name,
+                               double window_s) const;
+
+  /// Mean/max of a gauge over the samples inside the window (same
+  /// window-selection rule as counter_window).
+  struct GaugeWindow {
+    bool valid = false;
+    double dt_seconds = 0.0;
+    double mean = 0.0;
+    std::int64_t max = 0;
+    std::int64_t last = 0;
+  };
+  GaugeWindow gauge_window(const std::string& name, double window_s) const;
+
+  /// Histogram restricted to the window: the bucket-wise difference of the
+  /// two bounding snapshots. count() == 0 means no samples landed in the
+  /// window (or the ring cannot bound one).
+  LatencyHistogram histogram_window(const std::string& name,
+                                    double window_s) const;
+
+  /// Invoked after every tick (on whichever thread ticked), with the ring
+  /// already updated — the SLO watcher's evaluation hook. The callback may
+  /// query the sampler's windows but must not retain/release.
+  void set_on_tick(std::function<void(const TimeSeriesSampler&)> cb);
+
+  const TimeSeriesConfig& config() const { return config_; }
+
+ private:
+  void run();
+  /// Newest sample + window-opening sample; false if unbound.
+  bool window_bounds_locked(double window_s, const TimeSeriesSample** begin,
+                            const TimeSeriesSample** end) const;
+
+  const TimeSeriesConfig config_;
+  MetricsRegistry* const registry_;
+  SpanTracer* const tracer_;
+
+  std::atomic<bool> enabled_{true};
+  TimePoint t0_;
+
+  mutable std::mutex ring_mu_;
+  std::vector<TimeSeriesSample> ring_;  ///< ring_[seq % capacity]
+  std::uint64_t seq_ = 0;
+
+  /// Serializes the 0<->1 lease transitions (spawn/join); never taken by
+  /// the sampling thread, so joining while holding it is safe.
+  std::mutex lease_mu_;
+  mutable std::mutex life_mu_;
+  std::condition_variable life_cv_;
+  int refs_ = 0;
+  bool thread_running_ = false;
+  std::thread thread_;
+
+  std::mutex cb_mu_;
+  std::function<void(const TimeSeriesSampler&)> on_tick_;
+
+  /// Stable storage for gauge names handed to the tracer as counter-track
+  /// names (SpanTracer keeps `const char*`); std::set nodes never move.
+  std::set<std::string> track_names_;
+  std::mutex track_mu_;
+};
+
+/// RAII lease on a sampler; a null sampler is harmless.
+class SamplerLease : NonCopyable {
+ public:
+  explicit SamplerLease(TimeSeriesSampler* s) : s_(s) {
+    if (s_ != nullptr) s_->retain();
+  }
+  ~SamplerLease() {
+    if (s_ != nullptr) s_->release();
+  }
+
+ private:
+  TimeSeriesSampler* s_;
+};
+
+}  // namespace gnndrive

@@ -7,6 +7,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/attribution.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sampling/topology.hpp"
 #include "util/logging.hpp"
@@ -171,11 +174,30 @@ ServeEngine::ServeEngine(const RunContext& ctx, const ServeConfig& config,
     m_hot_swaps_ = &reg.counter("serve.hot_swaps");
     m_model_gen_ = &reg.gauge("serve.model_generation");
     m_pinned_ = &reg.gauge("serve.pinned");
+    m_running_ = &reg.gauge("serve.running");
     rm_latency_ = &reg.histogram("serve.latency.us");
     rm_queue_wait_ = &reg.histogram("serve.queue_wait.us");
     rm_extract_ = &reg.histogram("serve.extract.us");
     rm_infer_ = &reg.histogram("serve.infer.us");
     rm_batch_size_ = &reg.histogram("serve.batch.size");
+
+    // Tell the attributor about the serve side of the topology and register
+    // a windowed p99-vs-SLO rule so the watcher alerts the moment serving
+    // degrades, instead of after a run-summary aggregate drifts.
+    AttributionConfig ac = ctx_.telemetry->attributor()->config();
+    ac.serve_workers = config_.workers;
+    ac.serve_slo_us = config_.slo.deadline_ms * 1e3;
+    ctx_.telemetry->attributor()->set_config(ac);
+    if (config_.slo.deadline_ms > 0) {
+      SloRule rule;
+      rule.name = "serve_p99_slo";
+      rule.kind = SloRule::Kind::kHistogramQuantile;
+      rule.metric = "serve.latency.us";
+      rule.quantile = 0.99;
+      rule.threshold = config_.slo.deadline_ms * 1e3;
+      rule.window_s = 2.0;
+      ctx_.telemetry->slo()->add_rule(std::move(rule));
+    }
   }
 
   GD_LOG_INFO("ServeEngine: workers=%u max_batch=%u wait=%.0fus "
@@ -200,6 +222,8 @@ ServeEngine::~ServeEngine() {
     for (auto& t : workers_) t.join();
     workers_.clear();
     running_ = false;
+    if (m_running_ != nullptr) m_running_->sub(1);
+    if (ctx_.telemetry != nullptr) ctx_.telemetry->sampler()->release();
   }
 }
 
@@ -207,6 +231,10 @@ void ServeEngine::start() {
   GD_CHECK_MSG(!running_, "ServeEngine::start called twice");
   fb_at_start_ = sub_.feature_buffer->stats(FbClient::kServe);
   running_ = true;
+  // Liveness + telemetry lease: /readyz keys off serve.running, and the
+  // time-series sampler runs for as long as the engine accepts requests.
+  if (m_running_ != nullptr) m_running_->add(1);
+  if (ctx_.telemetry != nullptr) ctx_.telemetry->sampler()->retain();
   for (std::uint32_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this, w] {
       try {
@@ -232,6 +260,8 @@ void ServeEngine::stop() {
   for (auto& t : workers_) t.join();
   workers_.clear();
   running_ = false;
+  if (m_running_ != nullptr) m_running_->sub(1);
+  if (ctx_.telemetry != nullptr) ctx_.telemetry->sampler()->release();
   std::lock_guard lk(err_mu_);
   if (error_) {
     std::exception_ptr e = error_;
@@ -358,6 +388,7 @@ void ServeEngine::worker_loop(std::uint32_t worker_id) {
     ws.hooks.segments = &reg.counter("io.coalesce.segments");
     ws.hooks.rows = &reg.counter("io.coalesce.rows");
     ws.hooks.rows_per_read = &reg.histogram("io.coalesce.rows_per_read");
+    ws.hooks.staging_in_use = &reg.gauge("io.staging_in_use");
   }
   for (;;) {
     auto batch = coalescer_.collect();

@@ -179,6 +179,7 @@ class ServeEngine : NonCopyable {
   Counter* m_hot_swaps_ = nullptr;      ///< serve.hot_swaps
   Gauge* m_model_gen_ = nullptr;        ///< serve.model_generation
   Gauge* m_pinned_ = nullptr;           ///< serve.pinned (nodes pinned)
+  Gauge* m_running_ = nullptr;          ///< serve.running (/readyz liveness)
   ConcurrentHistogram* rm_latency_ = nullptr;     ///< serve.latency.us
   ConcurrentHistogram* rm_queue_wait_ = nullptr;  ///< serve.queue_wait.us
   ConcurrentHistogram* rm_extract_ = nullptr;     ///< serve.extract.us

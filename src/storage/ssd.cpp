@@ -284,6 +284,9 @@ bool SsdDevice::try_cancel(std::uint64_t token) {
   ++stats_.cancelled;
   mirror_stats_locked();
   --in_flight_;
+  if (m_.pending != nullptr) {
+    m_.pending->set(static_cast<std::int64_t>(in_flight_));
+  }
   if (in_flight_ == 0) drained_.notify_all();
   cv_.notify_one();
   return true;
@@ -372,6 +375,7 @@ void SsdDevice::set_telemetry(Telemetry* telemetry) {
   m_.injected_spikes = &reg.counter("ssd.injected_spikes");
   m_.injected_stuck = &reg.counter("ssd.injected_stuck");
   m_.cancelled = &reg.counter("ssd.cancelled");
+  m_.pending = &reg.gauge("ssd.pending");
   mirror_stats_locked();
 }
 
@@ -386,6 +390,9 @@ void SsdDevice::mirror_stats_locked() {
   m_.injected_spikes->store(stats_.injected_spikes);
   m_.injected_stuck->store(stats_.injected_stuck);
   m_.cancelled->store(stats_.cancelled);
+  if (m_.pending != nullptr) {
+    m_.pending->set(static_cast<std::int64_t>(in_flight_));
+  }
 }
 
 void SsdDevice::device_loop() {
@@ -409,6 +416,9 @@ void SsdDevice::device_loop() {
       // completion never runs) instead of blocking destruction for a year.
       pending_.pop();
       --in_flight_;
+      if (m_.pending != nullptr) {
+        m_.pending->set(static_cast<std::int64_t>(in_flight_));
+      }
       if (in_flight_ == 0) drained_.notify_all();
       continue;
     }
@@ -431,6 +441,9 @@ void SsdDevice::device_loop() {
     if (req.on_complete) req.on_complete(cqe_res);
     lock.lock();
     --in_flight_;
+    if (m_.pending != nullptr) {
+      m_.pending->set(static_cast<std::int64_t>(in_flight_));
+    }
     if (in_flight_ == 0) drained_.notify_all();
   }
 }

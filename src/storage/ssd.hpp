@@ -39,6 +39,7 @@
 namespace gnndrive {
 
 class Counter;
+class Gauge;
 class Telemetry;
 
 /// Storage for the simulated drive's contents. read/write return 0 on
@@ -265,6 +266,7 @@ class SsdDevice : NonCopyable {
     Counter* injected_spikes = nullptr;
     Counter* injected_stuck = nullptr;
     Counter* cancelled = nullptr;
+    Gauge* pending = nullptr;  ///< ssd.pending (device queue depth)
   } m_;
 
   std::thread device_thread_;

@@ -72,11 +72,20 @@ class LatencyHistogram {
     ++buckets_[bucket_of(us)];
   }
   std::uint64_t count() const { return count_; }
+  double sum_us() const { return sum_us_; }
   double mean_us() const {
     return count_ ? sum_us_ / static_cast<double>(count_) : 0.0;
   }
   double max_us() const { return count_ ? max_us_ : 0.0; }
   std::uint64_t bucket(int i) const { return buckets_[i]; }
+
+  /// Inclusive upper bound of bucket `i` in microseconds (2^i; bucket 0
+  /// covers [0, 1]). Exposition formats (Prometheus `le=`) key on this.
+  static double bucket_upper_us(int i) {
+    double bound = 1.0;
+    for (int b = 0; b < i; ++b) bound *= 2.0;
+    return bound;
+  }
 
   /// Approximate percentile: finds the bucket holding the p-th sample and
   /// interpolates linearly within it (the winning bucket's samples are
@@ -103,6 +112,30 @@ class LatencyHistogram {
       hi *= 2.0;
     }
     return max_us_;
+  }
+
+  /// Drops every sample; the histogram is reusable afterwards. Per-window
+  /// reporting (epoch reports, `/metrics` windows) resets or diffs instead
+  /// of letting quantiles aggregate over the whole process lifetime.
+  void reset() { *this = LatencyHistogram{}; }
+
+  /// Windowed view: the samples recorded after `earlier` was captured,
+  /// assuming `earlier` is a previous snapshot of this same histogram
+  /// (monotone bucket counts). Bucket differences are saturating, so a
+  /// slightly-racy concurrent snapshot degrades to dropping a sample
+  /// rather than underflowing. The window's max is approximated by the
+  /// later snapshot's max (an upper bound: the true window max can only be
+  /// lower), which quantile queries clamp against.
+  LatencyHistogram diff_since(const LatencyHistogram& earlier) const {
+    LatencyHistogram out;
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t lo = earlier.buckets_[i];
+      out.buckets_[i] = buckets_[i] > lo ? buckets_[i] - lo : 0;
+      out.count_ += out.buckets_[i];
+    }
+    out.sum_us_ = std::max(0.0, sum_us_ - earlier.sum_us_);
+    out.max_us_ = max_us_;
+    return out;
   }
 
   /// Rebuilds a histogram from raw bucket counts (used by the thread-safe

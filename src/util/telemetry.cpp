@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <iterator>
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace gnndrive {
@@ -18,7 +21,13 @@ void add_thread_io_wait(double seconds) { tl_io_wait_seconds += seconds; }
 Telemetry::Telemetry(double bucket_ms, std::size_t max_buckets)
     : bucket_ms_(bucket_ms), cells_(max_buckets),
       metrics_(std::make_unique<MetricsRegistry>()),
-      tracer_(std::make_unique<SpanTracer>()) {
+      tracer_(std::make_unique<SpanTracer>()),
+      sampler_(std::make_unique<TimeSeriesSampler>(metrics_.get(),
+                                                   tracer_.get())),
+      attributor_(std::make_unique<BottleneckAttributor>()),
+      slo_(std::make_unique<SloWatcher>()) {
+  sampler_->set_on_tick(
+      [slo = slo_.get()](const TimeSeriesSampler& ts) { slo->evaluate(ts); });
   for (auto& row : cells_) {
     for (auto& cell : row) cell.store(0, std::memory_order_relaxed);
   }

@@ -17,9 +17,12 @@
 
 namespace gnndrive {
 
+class BottleneckAttributor;
 class Counter;
 class MetricsRegistry;
+class SloWatcher;
 class SpanTracer;
+class TimeSeriesSampler;
 
 enum class TraceCat : int {
   kCpuBusy = 0,   ///< Thread doing computation (sampling, training math, ...).
@@ -95,6 +98,22 @@ class Telemetry {
   void set_tracing(bool on);
   bool tracing() const;
 
+  /// Registry time-series sampler (runs only while leased; the pipeline,
+  /// serve engine and HTTP endpoint each hold a lease while active). Its
+  /// on_tick hook is wired to the SLO watcher. Never null.
+  TimeSeriesSampler* sampler() { return sampler_.get(); }
+  const TimeSeriesSampler* sampler() const { return sampler_.get(); }
+
+  /// Bottleneck attributor (epoch reports published by the pipeline; the
+  /// /attribution route reads it). Never null.
+  BottleneckAttributor* attributor() { return attributor_.get(); }
+  const BottleneckAttributor* attributor() const { return attributor_.get(); }
+
+  /// Threshold rules over the time-series; evaluated every sampler tick.
+  /// Never null.
+  SloWatcher* slo() { return slo_.get(); }
+  const SloWatcher* slo() const { return slo_.get(); }
+
  private:
   const double bucket_ms_;
   std::atomic<bool> started_{false};
@@ -106,6 +125,9 @@ class Telemetry {
       counters_{};
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<SpanTracer> tracer_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  std::unique_ptr<BottleneckAttributor> attributor_;
+  std::unique_ptr<SloWatcher> slo_;
   /// Registry mirrors of the FaultCounter slots, resolved at construction.
   std::array<Counter*, static_cast<int>(FaultCounter::kCount)>
       fault_counters_{};
