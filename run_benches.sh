@@ -36,6 +36,31 @@
 #            plus the cache test suites (construction validation, pinned
 #            hot-partition semantics, LRU property/fuzz, byte-identical
 #            differential, checkpoint hot-set adoption).
+#        ./run_benches.sh --layout [output-file]
+#            feature-layout mode: runs the identity/degree/hotness packed-
+#            store A/B sweep (direct, mmap and hot-prefetch ssd.reads, writes
+#            BENCH_layout.json; fails if the best packed layout is < 2x or
+#            any loss trajectory diverges), the offline compiler tool on a
+#            plan file round-trip, and the Layout* test suites (plan
+#            serialization fuzz, offset overflow bounds, compile rewrite
+#            correctness, checkpoint fingerprint gating, cross-layout
+#            differentials for train/serve/ginex/pygplus/marius).
+if [ "$1" = "--layout" ]; then
+  shift
+  OUT="${1:-layout_sweep_output.txt}"
+  : > "$OUT"
+  {
+    echo "############ feature-layout A/B (bench/layout_sweep + tools/layout_compile + Layout* suites) ############"
+    timeout 580 build/bench/layout_sweep BENCH_layout.json 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tools/layout_compile papers100m hotness layout_plan.bin 2>&1
+    echo "[exit=$?]"
+    timeout 580 build/tests/gnndrive_tests --gtest_filter='Layout*' 2>&1
+    echo "[exit=$?]"
+    echo LAYOUT_SMOKE_DONE
+  } >> "$OUT"
+  exit 0
+fi
 if [ "$1" = "--obs" ]; then
   shift
   OUT="${1:-obs_smoke_output.txt}"

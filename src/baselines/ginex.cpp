@@ -43,6 +43,10 @@ void load_rows_into_cache(
     while (submitted < rows.size() && ring.in_flight() < depth &&
            (aligned || !free_bounce.empty())) {
       const auto [node, slot] = rows[submitted];
+      // feature_offset_of is layout-aware (src/layout): under a packed
+      // store this reads the node's permuted physical row, so Ginex's
+      // Belady cache — keyed by node id, layout-independent — still caches
+      // the right bytes. Differential-tested against the identity layout.
       const std::uint64_t off = lay.feature_offset_of(node);
       if (aligned) {
         ring.prep_read(off, static_cast<std::uint32_t>(row_bytes),

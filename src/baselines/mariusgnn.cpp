@@ -129,15 +129,17 @@ MariusGnn::MariusGnn(const RunContext& ctx, MariusConfig config)
 
 void MariusGnn::load_partition(std::uint32_t part, std::uint32_t buffer_slot) {
   const Dataset& ds = *ctx_.dataset;
-  const NodeId first = part * part_rows_;
-  const NodeId last =
-      std::min<NodeId>(first + part_rows_, ds.spec().num_nodes);
+  // Physical row range [first, last): contiguous on disk by construction
+  // (partitions split the packed store, not the node-id space).
+  const std::uint64_t first = static_cast<std::uint64_t>(part) * part_rows_;
+  const std::uint64_t last =
+      std::min<std::uint64_t>(first + part_rows_, ds.spec().num_nodes);
   if (first >= last) {
     slot_of_part_[part] = static_cast<std::int32_t>(buffer_slot);
     return;
   }
   // Feature rows: one big sequential read straight into the buffer slot.
-  const std::uint64_t off = ds.layout().feature_offset_of(first);
+  const std::uint64_t off = ds.layout().feature_offset_of_row(first);
   const std::uint64_t len =
       static_cast<std::uint64_t>(last - first) * ds.layout().feature_row_bytes;
   float* dst = buffer_.data() + static_cast<std::size_t>(buffer_slot) *
@@ -300,10 +302,14 @@ EpochStats MariusGnn::run_epoch(std::uint64_t epoch) {
           const NodeId v = batch.nodes[i];
           const std::int32_t slot = slot_of_part_[partition_of(v)];
           GD_CHECK_MSG(slot >= 0, "marius sampled a non-resident node");
+          // Buffer slots hold physical rows, so index by the node's row
+          // within its partition's extent.
+          const std::uint64_t row = ds.layout().feature_row_of(v);
           const float* src =
               buffer_.data() +
               (static_cast<std::size_t>(slot) * part_rows_ +
-               (v - partition_of(v) * part_rows_)) *
+               (row - static_cast<std::uint64_t>(partition_of(v)) *
+                          part_rows_)) *
                   dim;
           std::memcpy(x0.row(i), src, static_cast<std::size_t>(dim) * 4);
         }

@@ -56,8 +56,16 @@ class MariusGnn final : public TrainSystem {
   double evaluate() override;
 
   std::uint32_t buffer_capacity() const { return capacity_; }
+  /// Partitions are defined over *physical* feature rows, so a partition is
+  /// always one contiguous on-disk extent and load_partition stays one big
+  /// sequential read under any compiled layout (src/layout). Under the
+  /// identity layout this degenerates to the node-id split the paper
+  /// describes; under a packed layout the membership (and hence the
+  /// training trajectory) legitimately differs, but every gathered row is
+  /// still the right node's bytes — differential-tested.
   std::uint32_t partition_of(NodeId v) const {
-    return static_cast<std::uint32_t>(v / part_rows_);
+    return static_cast<std::uint32_t>(
+        ctx_.dataset->layout().feature_row_of(v) / part_rows_);
   }
 
  private:

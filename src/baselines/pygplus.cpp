@@ -78,8 +78,10 @@ EpochStats PygPlus::run_epoch(std::uint64_t epoch) {
           ready.pin = PinnedBytes(*ctx_.host_mem, ready.x0.bytes(),
                                   "pygplus-batch-tensor");
           for (std::uint32_t i = 0; i < batch.num_nodes(); ++i) {
+            // feature_row_of routes through the installed layout plan so
+            // the mmap path reads a packed store correctly too.
             features.read_bytes(
-                static_cast<std::uint64_t>(batch.nodes[i]) *
+                ds.layout().feature_row_of(batch.nodes[i]) *
                     ds.layout().feature_row_bytes,
                 ds.layout().feature_row_bytes, ready.x0.row(i));
           }

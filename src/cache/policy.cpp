@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "aio/io_ring.hpp"
@@ -116,9 +117,20 @@ HotPrefetchStats prefetch_hot_rows(FeatureBuffer& fb,
   const auto covering = static_cast<std::uint32_t>(
       round_up(row_bytes, kSectorSize) +
       (row_bytes % kSectorSize == 0 ? 0 : kSectorSize));
+  // Packed store (src/layout): a hotness/degree-compiled image places the
+  // profiled hot set in one dense physical run, so the extraction-tuned
+  // per-segment caps would only chop a single long run into hundreds of
+  // 24 KiB reads. Widen to ~1 MiB segments with no row cap — the whole
+  // prefetch becomes a handful of sequential reads. The identity path is
+  // byte-for-byte the planner the extractors use.
+  const bool packed = lay.row_perm != nullptr && coalesce.enabled;
   const std::uint32_t staging_row_bytes =
-      staging_row_bytes_for(coalesce, covering);
-  const std::uint32_t max_rows = coalesce.enabled ? coalesce.max_rows_per_read : 1;
+      packed ? std::max<std::uint32_t>(1u << 20, covering)
+             : staging_row_bytes_for(coalesce, covering);
+  const std::uint32_t max_rows =
+      !coalesce.enabled ? 1
+      : packed          ? std::numeric_limits<std::uint32_t>::max()
+                        : coalesce.max_rows_per_read;
   const std::uint32_t max_gap = coalesce.enabled ? coalesce.max_gap_bytes : 0;
 
   std::vector<std::uint32_t> load_idx(hot_nodes.size());
@@ -130,7 +142,10 @@ HotPrefetchStats prefetch_hot_rows(FeatureBuffer& fb,
   // One-shot windowed read loop: far simpler than extract_load_set because
   // slots are pre-pinned (no allocation, no cross-batch waiters) and a
   // permanent failure aborts the whole prefetch instead of degrading it.
-  constexpr std::uint32_t kStagingRows = 32;
+  // With ~1 MiB packed segments a deep staging pool would cost 32 MiB of
+  // host buffer for a prefetch that is a few reads total; 8 windows keep
+  // the device busy.
+  const std::uint32_t kStagingRows = packed ? 8 : 32;
   constexpr std::uint32_t kMaxAttempts = 3;
   IoRingConfig ring_cfg;
   ring_cfg.queue_depth = kStagingRows;

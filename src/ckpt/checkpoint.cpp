@@ -34,6 +34,7 @@ constexpr std::uint32_t kSecParams = 2;
 constexpr std::uint32_t kSecAdam = 3;
 constexpr std::uint32_t kSecRng = 4;
 constexpr std::uint32_t kSecHotSet = 5;  ///< pinned hot-partition node ids
+constexpr std::uint32_t kSecLayout = 6;  ///< feature-layout plan fingerprint
 
 struct FileHeader {
   char magic[8];
@@ -272,6 +273,11 @@ bool parse_checkpoint(const std::vector<std::uint8_t>& img,
         }
         break;
       }
+      case kSecLayout: {
+        out.cursor.layout_fingerprint = pr.read<std::uint64_t>();
+        if (!pr.ok) return false;
+        break;
+      }
       default:
         break;  // unknown section: forward-compatible skip (CRC verified)
     }
@@ -448,22 +454,27 @@ std::uint64_t CheckpointManager::write(const TrainCursor& cursor,
   append_pod(hsec, static_cast<std::uint32_t>(cursor.hot_set.size()));
   for (NodeId v : cursor.hot_set) append_pod(hsec, v);
 
+  std::vector<std::uint8_t> lsec;
+  append_pod(lsec, cursor.layout_fingerprint);
+
   FileHeader fh{};
   std::memcpy(fh.magic, kFileMagic, sizeof(kFileMagic));
   fh.version = kFormatVersion;
-  fh.section_count = 5;
+  fh.section_count = 6;
   fh.generation = gen;
   fh.header_crc = header_crc_of(fh);
 
   std::vector<std::uint8_t> img;
   img.reserve(sizeof(fh) + meta.size() + psec.size() + asec.size() +
-              rsec.size() + hsec.size() + 5 * sizeof(SectionHeader));
+              rsec.size() + hsec.size() + lsec.size() +
+              6 * sizeof(SectionHeader));
   append_pod(img, fh);
   append_section(img, kSecMeta, meta);
   append_section(img, kSecParams, psec);
   append_section(img, kSecAdam, asec);
   append_section(img, kSecRng, rsec);
   append_section(img, kSecHotSet, hsec);
+  append_section(img, kSecLayout, lsec);
 
   // Atomic protocol: temp -> fsync -> rename -> fsync(dir), then the same
   // for the manifest, then retention. CrashInjector fires between phases.

@@ -147,6 +147,12 @@ struct TrainCursor {
   /// it and skips re-profiling. Empty under the LRU policy; checkpoints
   /// written before this section existed parse as empty (skipped section).
   std::vector<NodeId> hot_set;
+  /// Fingerprint of the feature-layout plan (src/layout) the image was
+  /// compiled to when the checkpoint was written; 0 means identity / no
+  /// plan. resume() refuses a mismatch — a cursor trained against one
+  /// physical row order must not adopt an image packed differently.
+  /// Checkpoints written before this section existed parse as 0.
+  std::uint64_t layout_fingerprint = 0;
 };
 
 class CheckpointManager {

@@ -61,7 +61,8 @@ SegmentPlan plan_segments(const std::vector<std::uint32_t>& load_idx,
   plan.rows.reserve(load_idx.size());
   if (load_idx.empty()) return plan;
 
-  // Sorted run over disk offsets. Distinct nodes have distinct offsets, so
+  // Sorted run over disk offsets. Distinct nodes have distinct offsets
+  // (layout plans are bijections, so this holds for packed stores too) and
   // the order is total for a triaged (deduplicated) load set.
   struct Item {
     std::uint64_t off;

@@ -91,6 +91,12 @@ struct SegmentPlan {
 /// `max_bytes` must admit at least one covering row; `max_rows >= 1`;
 /// ranges merge when the gap between consecutive covering ranges is at
 /// most `max_gap_bytes`.
+///
+/// Offsets come from `lay.feature_offset_of`, i.e. they are *physical* row
+/// positions under whatever layout plan is installed (src/layout). The
+/// planner itself is layout-oblivious — a packed store simply presents it
+/// with denser sorted runs, so the same greedy merge yields fewer, longer
+/// segments.
 SegmentPlan plan_segments(const std::vector<std::uint32_t>& load_idx,
                           const std::vector<NodeId>& nodes,
                           const OnDiskLayout& lay, std::uint32_t row_bytes,

@@ -546,6 +546,7 @@ std::uint64_t GnnDrive::write_checkpoint(std::uint64_t epoch,
   cursor.fingerprint = fingerprint();
   cursor.rng_streams.push_back(RngStream{0, train_rng_.state()});
   cursor.hot_set = hot_nodes_;
+  cursor.layout_fingerprint = ctx_.dataset->layout().layout_fingerprint();
   return ckpt_mgr_->write(cursor, *model_, adam_);
 }
 
@@ -560,6 +561,17 @@ std::optional<GnnDrive::ResumeInfo> GnnDrive::resume() {
   if (ckpt_mgr_ == nullptr) return std::nullopt;
   auto loaded = ckpt_mgr_->load_latest(*model_, &adam_, fingerprint());
   if (!loaded.has_value()) return std::nullopt;
+  // A cursor trained against one physical feature order must not resume on
+  // an image packed differently: batch contents would silently diverge.
+  // Recompile the image to the checkpoint's layout (or vice versa) first.
+  const std::uint64_t layout_fp = ctx_.dataset->layout().layout_fingerprint();
+  if (loaded->cursor.layout_fingerprint != layout_fp) {
+    throw std::runtime_error(
+        "resume: checkpoint layout fingerprint " +
+        std::to_string(loaded->cursor.layout_fingerprint) +
+        " does not match the dataset's compiled layout " +
+        std::to_string(layout_fp));
+  }
   cur_epoch_ = loaded->cursor.epoch;
   cursor_.store(loaded->cursor.next_batch);
   total_trained_ = loaded->cursor.trained_batches;

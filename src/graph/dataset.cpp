@@ -72,6 +72,20 @@ DatasetSpec toy_spec(std::uint32_t feature_dim) {
 }
 
 Dataset Dataset::build(const DatasetSpec& spec, bool keep_graph) {
+  // Construction-validation, matching FeatureBuffer / CheckpointManager: a
+  // malformed spec fails loudly here instead of as a zero-sized image or a
+  // division by zero deep in the generator.
+  if (spec.num_nodes == 0) {
+    throw std::invalid_argument("DatasetSpec: num_nodes must be > 0");
+  }
+  if (spec.feature_dim == 0) {
+    throw std::invalid_argument("DatasetSpec: feature_dim must be > 0");
+  }
+  if (!(spec.train_fraction > 0.0) || spec.train_fraction > 1.0) {
+    throw std::invalid_argument(
+        "DatasetSpec: train_fraction must be in (0, 1]");
+  }
+
   Dataset ds;
   ds.spec_ = spec;
 
@@ -81,6 +95,7 @@ Dataset Dataset::build(const DatasetSpec& spec, bool keep_graph) {
   params.num_communities = spec.num_classes;
   params.intra_prob = spec.intra_prob;
   params.skew = spec.skew;
+  params.scramble_ids = spec.scramble_ids;
   params.seed = spec.seed;
   CommunityGraph graph = generate_community_graph(params);
 
@@ -151,8 +166,10 @@ Dataset Dataset::build(const DatasetSpec& spec, bool keep_graph) {
     }
     const auto train_count = static_cast<std::size_t>(
         spec.train_fraction * static_cast<double>(spec.num_nodes));
-    const auto valid_count =
-        std::min<std::size_t>(2000, spec.num_nodes / 50);
+    // The valid split only gets what the train split left over, so the
+    // documented train_fraction boundary of 1.0 (empty valid set) works.
+    const auto valid_count = std::min<std::size_t>(
+        {2000, spec.num_nodes / 50, spec.num_nodes - train_count});
     GD_CHECK(train_count + valid_count <= spec.num_nodes);
     ds.train_nodes_.assign(perm.begin(), perm.begin() + train_count);
     ds.valid_nodes_.assign(perm.begin() + train_count,
@@ -174,6 +191,19 @@ Dataset Dataset::build(const DatasetSpec& spec, bool keep_graph) {
               spec.feature_dim,
               static_cast<double>(lay.total_bytes) / (1 << 20));
   return ds;
+}
+
+void Dataset::set_layout_plan(std::shared_ptr<const LayoutPlan> plan) {
+  if (plan == nullptr || plan->is_identity()) {
+    layout_.plan = nullptr;
+    layout_.row_perm = nullptr;
+    return;
+  }
+  GD_CHECK_MSG(plan->num_nodes == spec_.num_nodes,
+               "layout plan built for a different node count");
+  GD_CHECK_MSG(plan->validate(), "layout plan is not a valid bijection");
+  layout_.plan = std::move(plan);
+  layout_.row_perm = layout_.plan->perm.data();
 }
 
 void Dataset::read_feature_row(NodeId v, float* out) const {

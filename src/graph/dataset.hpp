@@ -23,6 +23,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "layout/plan.hpp"
 #include "storage/ssd.hpp"
 #include "util/common.hpp"
 
@@ -50,6 +51,14 @@ struct DatasetSpec {
   /// 2.0 matches real-graph power-law degree tails. Cache-policy benches
   /// sweep this to control access-frequency skew.
   double skew = 2.0;
+  /// Scramble node ids with a seeded permutation after edge generation
+  /// (CommunityGraphParams::scramble_ids). The skewed pick concentrates
+  /// degree on low ids, so unscrambled id order coincides with degree order
+  /// — real graphs have no such correlation. Layout experiments
+  /// (bench/layout_sweep) enable this so the identity layout means what it
+  /// means on Papers100M: feature rows in id order, scattered w.r.t. access
+  /// frequency.
+  bool scramble_ids = false;
   std::uint64_t seed = 42;
 
   std::uint64_t feature_row_bytes() const { return feature_dim * 4ull; }
@@ -79,8 +88,36 @@ struct OnDiskLayout {
   std::uint64_t scratch_bytes = 0;
   std::uint64_t total_bytes = 0;
 
+  /// Installed layout plan (src/layout): when non-null the feature region is
+  /// physically stored in `plan->perm` order and `row_perm` aliases
+  /// `plan->perm.data()` (the shared_ptr keeps it alive across Dataset
+  /// copies). Null means identity: physical row == node id. This is THE
+  /// indirection choke point — every consumer (extract planning, GDS path,
+  /// cache prefetch, baselines, serve) computes offsets through the
+  /// accessors below and is therefore layout-transparent.
+  std::shared_ptr<const LayoutPlan> plan;
+  const NodeId* row_perm = nullptr;
+
+  /// Physical feature row holding node `v`'s features.
+  std::uint64_t feature_row_of(NodeId v) const {
+    return row_perm != nullptr ? static_cast<std::uint64_t>(row_perm[v])
+                               : static_cast<std::uint64_t>(v);
+  }
+  /// Byte offset of node `v`'s feature row. All arithmetic is 64-bit: with
+  /// NodeId near 2^32 and row_bytes 512, node * row_bytes overflows 32 bits
+  /// by ~9 orders of magnitude, hence the casts before multiply.
   std::uint64_t feature_offset_of(NodeId v) const {
-    return features_offset + static_cast<std::uint64_t>(v) * feature_row_bytes;
+    return features_offset + feature_row_of(v) * feature_row_bytes;
+  }
+  /// Byte offset of a *physical* row index (bulk/partition readers that
+  /// iterate the packed store directly, e.g. MariusGNN partition loads).
+  std::uint64_t feature_offset_of_row(std::uint64_t row) const {
+    return features_offset + row * feature_row_bytes;
+  }
+  /// Plan content hash; 0 for identity / no plan. Stored in checkpoints so
+  /// resume() refuses to mix a cursor with a differently-packed image.
+  std::uint64_t layout_fingerprint() const {
+    return plan != nullptr ? plan->fingerprint() : 0;
   }
 };
 
@@ -95,6 +132,16 @@ class Dataset {
 
   const DatasetSpec& spec() const { return spec_; }
   const OnDiskLayout& layout() const { return layout_; }
+
+  /// Currently installed layout plan; null means identity order.
+  const std::shared_ptr<const LayoutPlan>& layout_plan() const {
+    return layout_.plan;
+  }
+  /// Installs `plan` as the layout indirection. The image's feature region
+  /// must already be physically permuted to match — callers go through
+  /// compile_layout (src/layout/compiler.hpp), which rewrites the region and
+  /// then installs. Null or identity-strategy plans clear the indirection.
+  void set_layout_plan(std::shared_ptr<const LayoutPlan> plan);
   const std::vector<EdgeId>& indptr() const { return indptr_; }
   const std::vector<std::int32_t>& labels() const { return labels_; }
   const std::vector<NodeId>& train_nodes() const { return train_nodes_; }

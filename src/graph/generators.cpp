@@ -1,6 +1,8 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/rng.hpp"
 
@@ -40,11 +42,29 @@ CommunityGraph generate_community_graph(const CommunityGraphParams& params) {
     edges.emplace_back(src, dst);
   }
 
+  // Optional id scramble: a seeded uniform relabeling sigma applied to the
+  // edge list, with labels carried along so community structure (and hence
+  // learnability) is untouched.
+  std::vector<NodeId> sigma;
+  if (params.scramble_ids) {
+    Rng srng(params.seed ^ 0x5c3ab1e1d5ull);
+    sigma.resize(n);
+    std::iota(sigma.begin(), sigma.end(), NodeId{0});
+    for (NodeId i = n - 1; i > 0; --i) {
+      std::swap(sigma[i], sigma[srng.next_below(i + 1)]);
+    }
+    for (auto& e : edges) {
+      e.first = sigma[e.first];
+      e.second = sigma[e.second];
+    }
+  }
+
   CommunityGraph out;
   out.csc = build_csc(n, edges);
   out.labels.resize(n);
   for (NodeId v = 0; v < n; ++v) {
-    out.labels[v] = static_cast<std::int32_t>(v % c);
+    out.labels[sigma.empty() ? v : sigma[v]] =
+        static_cast<std::int32_t>(v % c);
   }
   return out;
 }

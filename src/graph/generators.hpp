@@ -23,6 +23,13 @@ struct CommunityGraphParams {
   std::uint32_t num_communities = 16;
   double intra_prob = 0.6;   ///< Probability an edge stays intra-community.
   double skew = 2.0;         ///< Degree skew: node picked as N * u^skew.
+  /// Relabel nodes with a seeded random permutation after edge generation.
+  /// The skewed pick above concentrates degree on LOW ids, so by default
+  /// node id order coincides with degree order — an artifact real graphs do
+  /// not have (Papers100M ids carry no degree information). Scrambling
+  /// restores the realistic id/degree decorrelation that layout and cache
+  /// experiments depend on; the graph is isomorphic either way.
+  bool scramble_ids = false;
   std::uint64_t seed = 1;
 };
 

@@ -1,0 +1,67 @@
+// Offline feature-layout compiler: builds a LayoutPlan with a pluggable
+// strategy, physically rewrites the SSD image's feature region into the
+// permuted order, and installs the plan as the dataset's indirection. Runs
+// before training (DiskGNN / Ginex-superbatch shape): the online engine never
+// pays for the reorder, it just reads a store whose hot rows are dense.
+//
+// Strategies:
+//   identity — shipped node-id order; A/B baseline and "uncompile" target.
+//   degree   — in-degree descending. Free (topology is host-resident) but
+//              only as good as degree predicts access frequency.
+//   hotness  — replays the sampler via presample_hot_set (PR-7) with
+//              max_hot = num_nodes, i.e. a full frequency ordering of every
+//              node the profile touched; never-accessed nodes keep relative
+//              id order in the cold tail. Costs a profiling pass, but packs
+//              the *actual* epoch working set into one dense head.
+//
+// The rewrite composes with whatever plan is currently installed, so
+// compiling degree -> hotness -> identity round-trips the image bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/dataset.hpp"
+#include "layout/plan.hpp"
+#include "sampling/sampler.hpp"
+
+namespace gnndrive {
+
+class PageCache;
+class Telemetry;
+
+/// Profiling knobs for the hotness strategy (mirrors CachePolicyConfig's
+/// presample defaults, but with a wider default window: the plan is built
+/// once offline, so spending more profiled batches is cheap and sharpens
+/// the frequency ranking the permutation is sorted by).
+struct HotnessProfileConfig {
+  SamplerConfig sampler;
+  std::uint32_t batch_seeds = 4;
+  std::uint64_t profile_seed = 0x1a70e5ull;
+  std::uint32_t presample_batches = 256;
+};
+
+/// Strategy builders. All return fully validated plans.
+LayoutPlan plan_identity_layout(const Dataset& dataset);
+LayoutPlan plan_degree_layout(const Dataset& dataset);
+LayoutPlan plan_hotness_layout(const Dataset& dataset, PageCache& page_cache,
+                               const HotnessProfileConfig& profile);
+
+struct LayoutCompileStats {
+  std::uint64_t rows = 0;        ///< feature rows in the region
+  std::uint64_t rows_moved = 0;  ///< rows whose physical position changed
+  std::uint64_t bytes_moved = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// Rewrites the image's feature region into `plan` order (two passes through
+/// the scratch region: permuted gather into scratch, then one sequential
+/// copy back) and installs the plan on `dataset`. Composes with the
+/// currently-installed plan; a no-op when the target fingerprint already
+/// matches. Null plan means identity. Emits `layout.*` metrics when
+/// `telemetry` is non-null and logs progress every ~10%.
+LayoutCompileStats compile_layout(Dataset& dataset,
+                                  std::shared_ptr<const LayoutPlan> plan,
+                                  Telemetry* telemetry = nullptr);
+
+}  // namespace gnndrive
